@@ -1,0 +1,297 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 6), at a scale suitable for `go test -bench`. The full-scale
+// campaigns are produced by cmd/experiments; these benchmarks exercise the
+// identical code paths (workload synthesis, period protocol, all five
+// heuristics, aggregation) with reduced instance counts, plus
+// per-heuristic micro-benchmarks on representative workloads.
+package spgcmp_test
+
+import (
+	"testing"
+
+	"spgcmp/internal/core"
+	"spgcmp/internal/exact"
+	"spgcmp/internal/experiments"
+	"spgcmp/internal/platform"
+	"spgcmp/internal/randspg"
+	"spgcmp/internal/sim"
+	"spgcmp/internal/streamit"
+)
+
+// benchApps is the reduced StreamIt subset used by the figure benchmarks:
+// one low-elevation pipeline (DCT), one long chain-like graph (DES) and one
+// fat graph (FMRadio), covering the three regimes of Section 6.2.1.
+func benchApps(b *testing.B) []streamit.App {
+	b.Helper()
+	var apps []streamit.App
+	for _, a := range streamit.Suite() {
+		switch a.Name {
+		case "DCT", "DES", "FMRadio":
+			apps = append(apps, a)
+		}
+	}
+	return apps
+}
+
+// BenchmarkTable1StreamItSuite regenerates Table 1: synthesize all 12
+// workflows and verify their characteristics.
+func BenchmarkTable1StreamItSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, a := range streamit.Suite() {
+			g, err := a.Graph()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.N() != a.N || g.Elevation() != a.YMax || g.Depth() != a.XMax {
+				b.Fatalf("%s: characteristics drifted", a.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8StreamIt4x4 regenerates the Figure 8 campaign (normalized
+// energies over CCR variants) on the reduced suite, 4x4 grid.
+func BenchmarkFigure8StreamIt4x4(b *testing.B) {
+	apps := benchApps(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunStreamIt(4, 4, apps, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9StreamIt6x6 regenerates the Figure 9 campaign on 6x6.
+func BenchmarkFigure9StreamIt6x6(b *testing.B) {
+	apps := benchApps(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunStreamIt(6, 6, apps, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2StreamItFailures regenerates Table 2 (failure counts per
+// heuristic on both grids) from the reduced campaigns.
+func BenchmarkTable2StreamItFailures(b *testing.B) {
+	apps := benchApps(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r4, err := experiments.RunStreamIt(4, 4, apps, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r6, err := experiments.RunStreamIt(6, 6, apps, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r4.FailureCounts()
+		_ = r6.FailureCounts()
+	}
+}
+
+func benchRandom(b *testing.B, n, p, q, maxElev int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, ccr := range []float64{10, 1, 0.1} {
+			_, err := experiments.RunRandom(experiments.RandomConfig{
+				N: n, P: p, Q: q, CCR: ccr,
+				MinElevation: 1, MaxElevation: maxElev, GraphsPerElev: 2, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure10Random50_4x4 regenerates the Figure 10 panels (n=50
+// random SPGs on 4x4, CCR 10/1/0.1) over a reduced elevation sweep.
+func BenchmarkFigure10Random50_4x4(b *testing.B) { benchRandom(b, 50, 4, 4, 8) }
+
+// BenchmarkFigure11Random50_6x6 regenerates Figure 11 (n=50 on 6x6).
+func BenchmarkFigure11Random50_6x6(b *testing.B) { benchRandom(b, 50, 6, 6, 8) }
+
+// BenchmarkFigure12Random150_4x4 regenerates Figure 12 (n=150 on 4x4).
+func BenchmarkFigure12Random150_4x4(b *testing.B) { benchRandom(b, 150, 4, 4, 10) }
+
+// BenchmarkFigure13Random150_6x6 regenerates Figure 13 (n=150 on 6x6).
+func BenchmarkFigure13Random150_6x6(b *testing.B) { benchRandom(b, 150, 6, 6, 10) }
+
+// BenchmarkTable3RandomFailures regenerates Table 3 (failure counts per CCR
+// for n=50 on 4x4) from a reduced campaign.
+func BenchmarkTable3RandomFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ccr := range []float64{10, 1, 0.1} {
+			res, err := experiments.RunRandom(experiments.RandomConfig{
+				N: 50, P: 4, Q: 4, CCR: ccr,
+				MinElevation: 1, MaxElevation: 8, GraphsPerElev: 2, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res.TotalFailures()
+		}
+	}
+}
+
+// --- Per-heuristic micro-benchmarks on representative instances ---
+
+func benchHeuristic(b *testing.B, h core.Heuristic, inst core.Instance) {
+	b.Helper()
+	// Ensure the instance is solvable before timing (or expectedly not).
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = h.Solve(inst)
+	}
+}
+
+func fmRadioInstance(b *testing.B) core.Instance {
+	b.Helper()
+	a, err := streamit.ByName("FMRadio")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := a.GraphWithCCR(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Instance{Graph: g, Platform: platform.XScale(4, 4), Period: 1}
+}
+
+func chainInstance(b *testing.B) core.Instance {
+	b.Helper()
+	g, err := randspg.Generate(randspg.Params{N: 30, Elevation: 1, Seed: 4, CCR: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Instance{Graph: g, Platform: platform.XScale(4, 4), Period: 0.2}
+}
+
+func BenchmarkHeuristicRandomFMRadio(b *testing.B) {
+	benchHeuristic(b, core.NewRandom(1), fmRadioInstance(b))
+}
+
+func BenchmarkHeuristicGreedyFMRadio(b *testing.B) {
+	benchHeuristic(b, core.NewGreedy(), fmRadioInstance(b))
+}
+
+func BenchmarkHeuristicDPA2DFMRadio(b *testing.B) {
+	benchHeuristic(b, core.NewDPA2D(), fmRadioInstance(b))
+}
+
+func BenchmarkHeuristicDPA2D1DFMRadio(b *testing.B) {
+	benchHeuristic(b, core.NewDPA2D1D(), fmRadioInstance(b))
+}
+
+func BenchmarkHeuristicDPA1DChain30(b *testing.B) {
+	benchHeuristic(b, core.NewDPA1D(), chainInstance(b))
+}
+
+func BenchmarkHeuristicDPA2D1DChain30(b *testing.B) {
+	benchHeuristic(b, core.NewDPA2D1D(), chainInstance(b))
+}
+
+// --- Ablation benchmarks for the design choices called out in DESIGN.md ---
+
+// BenchmarkAblationRefinement measures the local-search post-pass
+// (an extension beyond the paper) applied to every heuristic's output.
+func BenchmarkAblationRefinement(b *testing.B) {
+	g, err := randspg.Generate(randspg.Params{N: 30, Elevation: 5, Seed: 2, CCR: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := core.Instance{Graph: g, Platform: platform.XScale(4, 4), Period: 0.2}
+	sol, err := core.NewGreedy().Solve(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := core.NewRefiner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ref.Refine(inst, sol)
+	}
+}
+
+// BenchmarkAblationRandomTrials1 and ...Trials10 quantify the cost of the
+// paper's "ten calls, keep the best" rule for the Random baseline.
+func BenchmarkAblationRandomTrials1(b *testing.B) {
+	benchHeuristic(b, &core.Random{Trials: 1, Seed: 1}, fmRadioInstance(b))
+}
+
+func BenchmarkAblationRandomTrials10(b *testing.B) {
+	benchHeuristic(b, &core.Random{Trials: 10, Seed: 1}, fmRadioInstance(b))
+}
+
+// BenchmarkAblationExactDAGPartition and ...ExactGeneral compare the
+// exhaustive search with and without the DAG-partition rule (the paper's
+// future-work question) on a tiny instance.
+func BenchmarkAblationExactDAGPartition(b *testing.B) {
+	g, err := randspg.Generate(randspg.Params{N: 7, Elevation: 2, Seed: 1, CCR: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := core.Instance{Graph: g, Platform: platform.XScale(2, 2), Period: 0.3}
+	s := exact.NewSolver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.Solve(inst)
+	}
+}
+
+func BenchmarkAblationExactGeneral(b *testing.B) {
+	g, err := randspg.Generate(randspg.Params{N: 7, Elevation: 2, Seed: 1, CCR: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := core.Instance{Graph: g, Platform: platform.XScale(2, 2), Period: 0.3}
+	s := exact.NewSolver()
+	s.General = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.Solve(inst)
+	}
+}
+
+// BenchmarkSimulator measures the pipeline simulator on a mapped StreamIt
+// workflow (512 data sets).
+func BenchmarkSimulator(b *testing.B) {
+	inst := fmRadioInstance(b)
+	sol, err := core.NewDPA2D().Solve(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(inst.Graph, inst.Platform, sol.Mapping, inst.Period,
+			sim.Options{DataSets: 512, Saturated: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkILPEmission measures generation of the Section 4.4 program.
+func BenchmarkILPEmission(b *testing.B) {
+	g, err := randspg.Generate(randspg.Params{N: 8, Elevation: 2, Seed: 1, CCR: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := core.Instance{Graph: g, Platform: platform.XScale(2, 2), Period: 0.3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.WriteILP(devnull{}, inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type devnull struct{}
+
+func (devnull) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkAblationDPA2DTranspose compares the paper's orientation with the
+// transposed one on a representative workload.
+func BenchmarkAblationDPA2DTranspose(b *testing.B) {
+	benchHeuristic(b, &core.DPA2D{Transpose: true}, fmRadioInstance(b))
+}

@@ -1,0 +1,114 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 6): Table 1 (workflow characteristics), Figures 8-9 and
+// Table 2 (StreamIt campaigns on 4x4 and 6x6 CMPs), Figures 10-13 and
+// Table 3 (random-SPG campaigns). Text panels go to stdout; CSV files go to
+// the -out directory.
+//
+// The full paper scale uses 100 graphs per elevation point; -graphs trades
+// statistical smoothness for runtime (the shapes are stable well below 100).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"spgcmp/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "all | table1 | fig8 | fig9 | table2 | fig10 | fig11 | fig12 | fig13 | table3")
+		graphs = flag.Int("graphs", 30, "random graphs per elevation point (paper: 100)")
+		seed   = flag.Int64("seed", 1, "base seed")
+		outDir = flag.String("out", "", "directory for CSV output (empty = no CSV)")
+	)
+	flag.Parse()
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	saveCSV := func(name, content string) {
+		if *outDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*outDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[wrote %s]\n", path)
+	}
+
+	if want("table1") {
+		fmt.Println(experiments.RenderTable1())
+	}
+
+	var streamItResults []*experiments.StreamItResult
+	runStreamIt := func(p, q int, figure string) *experiments.StreamItResult {
+		start := time.Now()
+		res, err := experiments.RunStreamIt(p, q, nil, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s: StreamIt suite on %dx%d (%v) ===\n", figure, p, q, time.Since(start).Round(time.Millisecond))
+		fmt.Println(experiments.RenderStreamIt(res))
+		saveCSV(strings.ToLower(figure)+".csv", experiments.CSVStreamIt(res))
+		return res
+	}
+	if want("fig8") || want("table2") {
+		streamItResults = append(streamItResults, runStreamIt(4, 4, "Figure8"))
+	}
+	if want("fig9") || want("table2") {
+		streamItResults = append(streamItResults, runStreamIt(6, 6, "Figure9"))
+	}
+	if want("table2") && len(streamItResults) > 0 {
+		fmt.Println(experiments.RenderFailureTable(streamItResults))
+		fmt.Println()
+	}
+
+	runRandom := func(n, p, q, maxElev int, figure string) []*experiments.RandomResult {
+		var results []*experiments.RandomResult
+		for _, ccr := range []float64{10, 1, 0.1} {
+			start := time.Now()
+			res, err := experiments.RunRandom(experiments.RandomConfig{
+				N: n, P: p, Q: q, CCR: ccr,
+				MaxElevation: maxElev, GraphsPerElev: *graphs, Seed: *seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("=== %s: %d-node random SPGs on %dx%d, CCR=%g (%v) ===\n",
+				figure, n, p, q, ccr, time.Since(start).Round(time.Millisecond))
+			fmt.Println(experiments.RenderRandom(res))
+			saveCSV(fmt.Sprintf("%s_ccr%g.csv", strings.ToLower(figure), ccr), experiments.CSVRandom(res))
+			results = append(results, res)
+		}
+		return results
+	}
+
+	var table3Source []*experiments.RandomResult
+	if want("fig10") || want("table3") {
+		table3Source = runRandom(50, 4, 4, 20, "Figure10")
+	}
+	if want("fig11") {
+		runRandom(50, 6, 6, 20, "Figure11")
+	}
+	if want("fig12") {
+		runRandom(150, 4, 4, 30, "Figure12")
+	}
+	if want("fig13") {
+		runRandom(150, 6, 6, 30, "Figure13")
+	}
+	if want("table3") && len(table3Source) > 0 {
+		fmt.Println(experiments.RenderRandomFailures(table3Source))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

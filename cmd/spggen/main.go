@@ -1,0 +1,53 @@
+// Command spggen generates series-parallel workflows and writes them as JSON
+// (loadable by spgmap via file:) or Graphviz DOT.
+//
+// Examples:
+//
+//	spggen -workload random:n=50,elev=8,seed=3 -format dot -o graph.dot
+//	spggen -workload streamit:Vocoder -ccr 1 -o vocoder.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spgcmp/internal/workload"
+)
+
+func main() {
+	var (
+		spec   = flag.String("workload", "random:n=50,elev=8,seed=1", "workload spec (see spgmap)")
+		ccr    = flag.Float64("ccr", 0, "rescale communication volumes to this CCR (0 = keep)")
+		format = flag.String("format", "json", "json | dot")
+		out    = flag.String("o", "", "output file (empty = stdout)")
+	)
+	flag.Parse()
+
+	g, err := workload.Load(*spec, *ccr)
+	fatalIf(err)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatalIf(err)
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		fatalIf(g.WriteJSON(w))
+	case "dot":
+		fatalIf(g.WriteDOT(w, *spec))
+	default:
+		fatalIf(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spggen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,154 @@
+// Command spgmap maps a series-parallel workflow onto a CMP grid with the
+// paper's heuristics and reports period feasibility, energy and the mapping
+// layout.
+//
+// Examples:
+//
+//	spgmap -workload streamit:FMRadio -grid 4x4 -period 0.1
+//	spgmap -workload random:n=50,elev=8,seed=3 -grid 6x6 -autoperiod -simulate
+//	spgmap -workload chain:n=12 -grid 4x4 -period 0.05 -heuristic DPA1D -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"spgcmp/internal/core"
+	"spgcmp/internal/exact"
+	"spgcmp/internal/experiments"
+	"spgcmp/internal/mapping"
+	"spgcmp/internal/platform"
+	"spgcmp/internal/sim"
+	"spgcmp/internal/spg"
+	"spgcmp/internal/workload"
+)
+
+func main() {
+	var (
+		spec       = flag.String("workload", "streamit:FMRadio", "workload spec: streamit:<Name> | random:n=..,elev=..,seed=.. | chain:n=.. | file:<path>")
+		grid       = flag.String("grid", "4x4", "CMP grid size PxQ")
+		period     = flag.Float64("period", 0.1, "period bound T in seconds")
+		autoPeriod = flag.Bool("autoperiod", false, "select T with the Section 6.1.3 protocol (start 1s, divide by 10)")
+		ccr        = flag.Float64("ccr", 0, "rescale communication volumes to this CCR (0 = keep)")
+		heuristic  = flag.String("heuristic", "all", "all | Random | Greedy | DPA2D | DPA1D | DPA2D1D | Exact")
+		seed       = flag.Int64("seed", 1, "seed for the Random heuristic")
+		simulate   = flag.Bool("simulate", false, "run the pipeline simulator on each solution")
+		refine     = flag.Bool("refine", false, "apply the local-search refinement pass to each solution")
+		saveBest   = flag.String("save", "", "write the best mapping as JSON to this file")
+		verbose    = flag.Bool("v", false, "print the core-by-core layout of each solution")
+	)
+	flag.Parse()
+
+	g, err := workload.Load(*spec, *ccr)
+	fatalIf(err)
+	p, q, err := workload.ParseGrid(*grid)
+	fatalIf(err)
+	pl := platform.XScale(p, q)
+
+	fmt.Printf("Workload %s: n=%d stages, %d edges, ymax=%d, xmax=%d, CCR=%.3g\n",
+		*spec, g.N(), g.M(), g.Elevation(), g.Depth(), spg.CCR(g))
+	fmt.Printf("Platform: %dx%d XScale grid, speeds %v GHz, BW %.3g GB/s\n", p, q, pl.Speeds, pl.BW)
+
+	T := *period
+	if *autoPeriod {
+		ir, ok := experiments.SelectPeriod(g, pl, *seed)
+		if !ok {
+			fmt.Println("autoperiod: no heuristic succeeds even at T = 1 s")
+			os.Exit(1)
+		}
+		T = ir.Period
+		fmt.Printf("Selected period: T = %g s\n", T)
+	}
+	fmt.Printf("Period bound: T = %g s (link capacity %.3g GB/period)\n\n", T, pl.LinkCapacity(T))
+
+	inst := core.Instance{Graph: g, Platform: pl, Period: T}
+	var best *core.Solution
+	for _, h := range pickHeuristics(*heuristic, *seed) {
+		sol, err := h.Solve(inst)
+		if err != nil {
+			fmt.Printf("%-8s FAILED: %v\n", h.Name(), err)
+			continue
+		}
+		if *refine {
+			sol = core.NewRefiner().Refine(inst, sol)
+		}
+		if best == nil || sol.Energy() < best.Energy() {
+			best = sol
+		}
+		r := sol.Result
+		fmt.Printf("%-8s energy %.6g J/period  (comp: leak %.4g + dyn %.4g; comm %.4g)  maxCycle %.4g s  cores %d  links %d\n",
+			sol.Heuristic, r.Energy, r.CompLeakEnergy, r.CompDynEnergy, r.CommDynEnergy,
+			r.MaxCycleTime, r.ActiveCores, r.UsedLinks)
+		if *verbose {
+			printLayout(g, pl, sol.Mapping)
+		}
+		if *simulate {
+			sat, err := sim.Run(g, pl, sol.Mapping, T, sim.Options{DataSets: 512, Saturated: true})
+			fatalIf(err)
+			arr, err := sim.Run(g, pl, sol.Mapping, T, sim.Options{DataSets: 512})
+			fatalIf(err)
+			fmt.Printf("         simulated: intrinsic period %.6g s (analytic %.6g), steady period %.6g s, latency %.4g s\n",
+				sat.MeasuredPeriod, sat.AnalyticPeriod, arr.MeasuredPeriod, arr.MeanLatency)
+		}
+	}
+	if *saveBest != "" {
+		if best == nil {
+			fatalIf(fmt.Errorf("no solution to save"))
+		}
+		f, err := os.Create(*saveBest)
+		fatalIf(err)
+		defer f.Close()
+		fatalIf(best.Mapping.WriteJSON(f, pl))
+		fmt.Printf("\nSaved best mapping (%s, %.6g J) to %s\n", best.Heuristic, best.Energy(), *saveBest)
+	}
+}
+
+func pickHeuristics(name string, seed int64) []core.Heuristic {
+	if name == "all" {
+		return core.All(seed)
+	}
+	if strings.EqualFold(name, "Exact") {
+		return []core.Heuristic{exact.NewSolver()}
+	}
+	for _, h := range core.All(seed) {
+		if strings.EqualFold(h.Name(), name) {
+			return []core.Heuristic{h}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown heuristic %q\n", name)
+	os.Exit(2)
+	return nil
+}
+
+func printLayout(g *spg.Graph, pl *platform.Platform, m *mapping.Mapping) {
+	cores, byCore := m.Clusters(pl)
+	sort.Slice(cores, func(i, j int) bool {
+		if cores[i].U != cores[j].U {
+			return cores[i].U < cores[j].U
+		}
+		return cores[i].V < cores[j].V
+	})
+	for _, c := range cores {
+		stages := byCore[c]
+		var work float64
+		for _, s := range stages {
+			work += g.Stages[s].Weight
+		}
+		names := make([]string, len(stages))
+		for i, s := range stages {
+			names[i] = fmt.Sprintf("S%d", s+1)
+		}
+		fmt.Printf("         %v @ %.3g GHz: %.4g Gcycles, %d stages: %s\n",
+			c, pl.Speeds[m.SpeedOf(pl, c)], work, len(stages), strings.Join(names, " "))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spgmap:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,23 @@
+// Package spgcmp reproduces "Energy-aware mappings of series-parallel
+// workflows onto chip multiprocessors" (Benoit, Melhem, Renaud-Goud, Robert —
+// ICPP 2011 / INRIA RR-7521): minimum-energy DAG-partition mappings of
+// series-parallel streaming workflows onto DVFS-capable 2D CMP grids under a
+// period bound.
+//
+// The implementation lives in internal packages:
+//
+//	internal/spg         series-parallel graphs, composition, labels, downsets
+//	internal/platform    CMP grid, XScale DVFS model, XY routing, snake embedding
+//	internal/mapping     DAG-partition mappings, period and energy evaluation
+//	internal/core        the five heuristics: Random, Greedy, DPA2D, DPA1D, DPA2D1D
+//	internal/exact       exhaustive optimal solver and Section 4.4 ILP emitter
+//	internal/sim         steady-state pipeline simulator
+//	internal/streamit    the 12 StreamIt workflows of Table 1
+//	internal/randspg     random SPG generation with exact elevation
+//	internal/experiments the Section 6 evaluation campaigns
+//
+// Executables: cmd/spgmap (map one workload), cmd/experiments (regenerate
+// every table and figure), cmd/spggen (emit workloads), cmd/ilpgen (emit the
+// ILP). Runnable walkthroughs live under examples/. The benchmarks in
+// bench_test.go regenerate each table and figure at reduced scale.
+package spgcmp

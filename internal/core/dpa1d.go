@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"spgcmp/internal/mapping"
+	"spgcmp/internal/platform"
+	"spgcmp/internal/spg"
+)
+
+// DPA1D configures the CMP as a uni-directional uni-line of r = p*q cores
+// (embedded as a snake, Section 5.4) and computes the optimal 1D solution
+// with the dynamic programming algorithm of Theorem 1: admissible subgraphs
+// (downsets) are split into consecutive chunks, one per processor, subject to
+// the cut bandwidth constraint Cout(G')/BW <= T. For a linear chain the
+// result is optimal even among 2D mappings, since a chain cannot exploit the
+// discarded links; for graphs of large elevation the downset lattice explodes
+// and the heuristic fails, exactly as reported in Section 6.2.
+type DPA1D struct {
+	// MaxStates caps the number of downsets interned before giving up.
+	MaxStates int
+	// MaxTransitions caps the total number of downset expansions explored.
+	MaxTransitions int
+}
+
+// NewDPA1D returns the default configuration. The transition budget counts
+// DP relaxations (per processor layer), so it scales with the core count;
+// the state budget is what stops elevation blow-ups early.
+func NewDPA1D() *DPA1D {
+	return &DPA1D{MaxStates: 150_000, MaxTransitions: 24_000_000}
+}
+
+// Name implements Heuristic.
+func (h *DPA1D) Name() string { return "DPA1D" }
+
+// ErrBudget wraps ErrNoSolution for failures caused by state explosion
+// rather than by infeasibility.
+var ErrBudget = errors.New("state budget exhausted")
+
+// Solve implements Heuristic.
+func (h *DPA1D) Solve(inst Instance) (*Solution, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	chunks, err := solve1D(inst, h.MaxStates, h.MaxTransitions)
+	if err != nil {
+		return nil, err
+	}
+	return finishSnake(h.Name(), inst, chunks)
+}
+
+// solve1D runs the Theorem 1 DP on a uni-directional chain of
+// pl.NumCores() processors and returns the optimal chunk sequence.
+func solve1D(inst Instance, maxStates, maxTransitions int) ([][]int, error) {
+	g, pl, T := inst.Graph, inst.Platform, inst.Period
+	r := pl.NumCores()
+	ds, err := spg.NewDownsetSpace(g, maxStates)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v (%v)", ErrNoSolution, err, ErrBudget)
+	}
+	maxChunk := T * pl.MaxSpeed()
+	linkCap := pl.LinkCapacity(T)
+
+	// chunkEnergy is Ecal of Theorem 1: leakage plus dynamic energy at the
+	// slowest feasible speed.
+	chunkEnergy := func(work float64) float64 {
+		_, idx, ok := pl.MinFeasibleSpeed(work, T)
+		if !ok {
+			return math.Inf(1)
+		}
+		return pl.CoreEnergy(work, T, idx)
+	}
+
+	const unset = -1
+	type layer struct {
+		energy []float64
+		parent []int32
+	}
+	newLayer := func(states int) *layer {
+		l := &layer{energy: make([]float64, states), parent: make([]int32, states)}
+		for i := range l.energy {
+			l.energy[i] = math.Inf(1)
+			l.parent[i] = unset
+		}
+		return l
+	}
+	grow := func(l *layer, states int) {
+		for len(l.energy) < states {
+			l.energy = append(l.energy, math.Inf(1))
+			l.parent = append(l.parent, unset)
+		}
+	}
+
+	full := ds.FullID()
+	transitions := 0
+
+	// Layer k holds E(D, k): minimal energy to run downset D on exactly the
+	// first k processors of the chain.
+	prev := newLayer(ds.NumStates())
+	exps, err := ds.Expansions(ds.EmptyID(), maxChunk)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v (%v)", ErrNoSolution, err, ErrBudget)
+	}
+	transitions += len(exps)
+	grow(prev, ds.NumStates())
+	for _, ex := range exps {
+		e := chunkEnergy(ex.ChunkWork)
+		if e < prev.energy[ex.To] {
+			prev.energy[ex.To] = e
+			prev.parent[ex.To] = int32(ds.EmptyID())
+		}
+	}
+
+	bestEnergy := math.Inf(1)
+	bestK := -1
+	layers := []*layer{nil, prev} // layers[k] for k >= 1
+	if prev.energy[full] < bestEnergy {
+		bestEnergy = prev.energy[full]
+		bestK = 1
+	}
+
+	for k := 2; k <= r; k++ {
+		cur := newLayer(ds.NumStates())
+		progress := false
+		for id := 0; id < len(prev.energy); id++ {
+			base := prev.energy[id]
+			if math.IsInf(base, 1) || id == full {
+				continue
+			}
+			cut := ds.Cout(id)
+			if cut > linkCap {
+				continue // the link between cores k-1 and k would overflow
+			}
+			commE := cut * pl.EnergyPerGB
+			exps, err := ds.Expansions(id, maxChunk)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v (%v)", ErrNoSolution, err, ErrBudget)
+			}
+			transitions += len(exps)
+			if transitions > maxTransitions {
+				return nil, fmt.Errorf("%w: transition budget exceeded (%v)", ErrNoSolution, ErrBudget)
+			}
+			grow(cur, ds.NumStates())
+			grow(prev, ds.NumStates())
+			for _, ex := range exps {
+				cand := base + commE + chunkEnergy(ex.ChunkWork)
+				if cand < cur.energy[ex.To] {
+					cur.energy[ex.To] = cand
+					cur.parent[ex.To] = int32(id)
+					progress = true
+				}
+			}
+		}
+		layers = append(layers, cur)
+		grow(cur, ds.NumStates())
+		if cur.energy[full] < bestEnergy {
+			bestEnergy = cur.energy[full]
+			bestK = k
+		}
+		if !progress {
+			break
+		}
+		prev = cur
+	}
+
+	if bestK < 0 {
+		return nil, ErrNoSolution
+	}
+
+	// Reconstruct the chunk of each processor, in chain order.
+	chunks := make([][]int, bestK)
+	id := full
+	for k := bestK; k >= 1; k-- {
+		p := int(layers[k].parent[id])
+		chunks[k-1] = ds.Diff(p, id)
+		id = p
+	}
+	return chunks, nil
+}
+
+// finishSnake places consecutive chunks along the snake embedding, pins the
+// communication routes to the snake links ("no other communication link is
+// used", Section 5.4) and evaluates the result.
+func finishSnake(name string, inst Instance, chunks [][]int) (*Solution, error) {
+	g, pl, T := inst.Graph, inst.Platform, inst.Period
+	snake := platform.NewSnake(pl)
+	m := mapping.New(g.N(), pl)
+	pos := make([]int, g.N()) // stage -> snake position
+	for k, chunk := range chunks {
+		c := snake.Core(k)
+		var work float64
+		for _, s := range chunk {
+			m.Alloc[s] = c
+			pos[s] = k
+			work += g.Stages[s].Weight
+		}
+		_, idx, ok := pl.MinFeasibleSpeed(work, T)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s chunk %d infeasible", ErrNoSolution, name, k)
+		}
+		m.SetSpeed(pl, c, idx)
+	}
+	m.Paths = make(map[int][]platform.Link)
+	for e, edge := range g.Edges {
+		a, b := pos[edge.Src], pos[edge.Dst]
+		if a != b {
+			m.Paths[e] = snake.Path(a, b)
+		}
+	}
+	return finish(name, inst, m)
+}

@@ -1,0 +1,627 @@
+package core
+
+import (
+	"math"
+
+	"spgcmp/internal/mapping"
+	"spgcmp/internal/platform"
+	"spgcmp/internal/spg"
+)
+
+// DPA2D is the two-dimensional dynamic programming heuristic of Section 5.3.
+// The SPG is first laid onto its x_max x y_max label grid; an outer DP cuts
+// the x levels into consecutive bands, one per CMP column, and an inner DP
+// cuts the rows of each band into consecutive groups, one per core of that
+// column (empty cores are allowed). Communications leave a column
+// horizontally on the row of their source core, are forwarded on that row
+// through intermediate columns, and descend or climb vertically in the
+// destination column — i.e. XY routing, which is what the final mapping uses.
+//
+// The outer DP carries, for each state, the outgoing-communication
+// distribution D of its best solution only (the paper's greedy choice), so
+// DPA2D is a heuristic even though both nested programs are exact given D.
+//
+// Transpose is an ablation knob beyond the paper: it swaps the roles of rows
+// and columns (bands occupy grid rows, row groups occupy columns, routes are
+// YX instead of XY), which can help on non-square grids or when the label
+// grid is much taller than it is deep.
+type DPA2D struct {
+	Transpose bool
+}
+
+// NewDPA2D returns the paper's orientation.
+func NewDPA2D() *DPA2D { return &DPA2D{} }
+
+// Name implements Heuristic.
+func (h *DPA2D) Name() string {
+	if h.Transpose {
+		return "DPA2D-T"
+	}
+	return "DPA2D"
+}
+
+// Solve implements Heuristic.
+func (h *DPA2D) Solve(inst Instance) (*Solution, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	pl := inst.Platform
+	if h.Transpose {
+		pl = &platform.Platform{
+			P: inst.Platform.Q, Q: inst.Platform.P,
+			Speeds: inst.Platform.Speeds, DynPower: inst.Platform.DynPower,
+			LeakPower: inst.Platform.LeakPower, CommLeakPower: inst.Platform.CommLeakPower,
+			BW: inst.Platform.BW, EnergyPerGB: inst.Platform.EnergyPerGB,
+		}
+	}
+	plan, err := solve2D(inst.Graph, pl, inst.Period)
+	if err != nil {
+		return nil, err
+	}
+	m := plan.buildMapping(inst.Graph, pl, inst.Period)
+	if m == nil {
+		return nil, ErrNoSolution
+	}
+	if h.Transpose {
+		m = transposeMapping(inst.Graph, inst.Platform, m)
+	}
+	return finish(h.Name(), inst, m)
+}
+
+// transposeMapping reflects a mapping computed on the transposed grid back
+// onto the real platform, pinning YX routes (the mirror of the DP's XY
+// accounting, so loads transfer link for link).
+func transposeMapping(g *spg.Graph, pl *platform.Platform, m *mapping.Mapping) *mapping.Mapping {
+	out := mapping.New(g.N(), pl)
+	for i, c := range m.Alloc {
+		out.Alloc[i] = platform.Core{U: c.V, V: c.U}
+	}
+	for u := 0; u < pl.P; u++ {
+		for v := 0; v < pl.Q; v++ {
+			// Transposed core (v, u) maps to real core (u, v).
+			out.SpeedIdx[u*pl.Q+v] = m.SpeedIdx[v*pl.P+u]
+		}
+	}
+	out.Paths = make(map[int][]platform.Link)
+	for e, edge := range g.Edges {
+		a, b := out.Alloc[edge.Src], out.Alloc[edge.Dst]
+		if a != b {
+			out.Paths[e] = pl.YXPath(a, b)
+		}
+	}
+	return out
+}
+
+// distEntry is one element of the distribution D of Section 5.3: a
+// communication leaving a column on physical row `row` (0-based), carried by
+// graph edge `edge`.
+type distEntry struct {
+	edge int
+	row  int
+}
+
+// plan2D is the reconstructed solution of the nested DP: bandEnd[v] is the
+// last x level (1-based) of the band mapped onto CMP column v, and
+// rowCuts[v][u] is the cumulative row cut of that column (core u, 1-based,
+// hosts label rows rowCuts[v][u-1]+1 .. rowCuts[v][u]).
+type plan2D struct {
+	bandEnd []int
+	rowCuts [][]int
+	energy  float64
+}
+
+// buildMapping turns the plan into a concrete mapping on pl with XY routing
+// (paths are left implicit: the evaluator defaults to XY, which matches the
+// DP's communication accounting link for link).
+func (p *plan2D) buildMapping(g *spg.Graph, pl *platform.Platform, T float64) *mapping.Mapping {
+	m := mapping.New(g.N(), pl)
+	prevEnd := 0
+	for v, end := range p.bandEnd {
+		cuts := p.rowCuts[v]
+		for i, s := range g.Stages {
+			if s.Label.X <= prevEnd || s.Label.X > end {
+				continue
+			}
+			u := rowCore(cuts, s.Label.Y)
+			m.Alloc[i] = platform.Core{U: u, V: v}
+		}
+		prevEnd = end
+	}
+	if !m.DowngradeSpeeds(g, pl, T) {
+		return nil
+	}
+	return m
+}
+
+// rowCore returns the 0-based core row hosting label row y under cuts.
+func rowCore(cuts []int, y int) int {
+	for u := 1; u < len(cuts); u++ {
+		if y <= cuts[u] {
+			return u - 1
+		}
+	}
+	return len(cuts) - 2 // defensive; y <= ymax = cuts[last]
+}
+
+// engine2D holds the state shared by the outer and inner dynamic programs.
+type engine2D struct {
+	g  *spg.Graph
+	pl *platform.Platform
+	T  float64
+
+	xmax, ymax int
+	words      int // uint64 words of a y bitmask
+
+	wPrefix [][]float64 // (xmax+1) x (ymax+1) weight prefix sums over labels
+	cPrefix [][]int     // same for stage counts
+	topo    []int
+
+	capL    float64 // link capacity per period, GB
+	maxWork float64 // T * s_max, the largest per-core work
+
+	bands map[int]*bandCtx
+}
+
+// bandCtx caches the D'-independent analysis of one band of x levels.
+type bandCtx struct {
+	m1, m2 int
+
+	internal []int // edge indices with both endpoints in the band
+	outgoing []int // edge indices with source in the band, destination beyond
+
+	// upInt[gp] (downInt[gp]) is the volume of internal edges crossing the
+	// row boundary gp upwards (downwards): y_src <= gp < y_dst (resp.
+	// y_dst <= gp < y_src).
+	upInt, downInt []float64
+
+	// anc[i], desc[i] are the y bitmasks of the band-internal ancestors and
+	// descendants of band node i (indexed by local node position).
+	nodes []int
+	local map[int]int
+	anc   [][]uint64
+	desc  [][]uint64
+
+	// ecal caches the per-rectangle core energy: index r1*(ymax+2)+r2 for
+	// label rows [r1..r2]; NaN marks an uncomputed entry, +Inf an infeasible
+	// or non-convex rectangle.
+	ecal []float64
+}
+
+func newEngine2D(g *spg.Graph, pl *platform.Platform, T float64) *engine2D {
+	xmax, ymax := g.Depth(), g.Elevation()
+	e := &engine2D{
+		g: g, pl: pl, T: T,
+		xmax: xmax, ymax: ymax,
+		words:   (ymax + 63) / 64,
+		capL:    pl.LinkCapacity(T),
+		maxWork: T * pl.MaxSpeed(),
+		bands:   make(map[int]*bandCtx),
+	}
+	e.wPrefix = make([][]float64, xmax+1)
+	e.cPrefix = make([][]int, xmax+1)
+	for x := 0; x <= xmax; x++ {
+		e.wPrefix[x] = make([]float64, ymax+1)
+		e.cPrefix[x] = make([]int, ymax+1)
+	}
+	for _, s := range g.Stages {
+		e.wPrefix[s.Label.X][s.Label.Y] += s.Weight
+		e.cPrefix[s.Label.X][s.Label.Y]++
+	}
+	for x := 1; x <= xmax; x++ {
+		for y := 1; y <= ymax; y++ {
+			e.wPrefix[x][y] += e.wPrefix[x-1][y] + e.wPrefix[x][y-1] - e.wPrefix[x-1][y-1]
+			e.cPrefix[x][y] += e.cPrefix[x-1][y] + e.cPrefix[x][y-1] - e.cPrefix[x-1][y-1]
+		}
+	}
+	e.topo, _ = g.TopoOrder()
+	return e
+}
+
+// rectWork returns the total weight of the stages with m1 <= x <= m2 and
+// r1 <= y <= r2 (all 1-based, inclusive).
+func (e *engine2D) rectWork(m1, m2, r1, r2 int) float64 {
+	return e.wPrefix[m2][r2] - e.wPrefix[m1-1][r2] - e.wPrefix[m2][r1-1] + e.wPrefix[m1-1][r1-1]
+}
+
+func (e *engine2D) rectCount(m1, m2, r1, r2 int) int {
+	return e.cPrefix[m2][r2] - e.cPrefix[m1-1][r2] - e.cPrefix[m2][r1-1] + e.cPrefix[m1-1][r1-1]
+}
+
+// band returns (building and caching on first use) the analysis context of
+// the band of x levels [m1..m2].
+func (e *engine2D) band(m1, m2 int) *bandCtx {
+	key := m1*(e.xmax+1) + m2
+	if b, ok := e.bands[key]; ok {
+		return b
+	}
+	b := &bandCtx{
+		m1: m1, m2: m2,
+		upInt:   make([]float64, e.ymax+1),
+		downInt: make([]float64, e.ymax+1),
+		local:   make(map[int]int),
+		ecal:    make([]float64, (e.ymax+2)*(e.ymax+2)),
+	}
+	for i := range b.ecal {
+		b.ecal[i] = math.NaN()
+	}
+	inBand := func(s int) bool {
+		x := e.g.Stages[s].Label.X
+		return x >= m1 && x <= m2
+	}
+	for _, s := range e.topo {
+		if inBand(s) {
+			b.local[s] = len(b.nodes)
+			b.nodes = append(b.nodes, s)
+		}
+	}
+	// Difference arrays for the per-boundary internal crossing volumes.
+	upDiff := make([]float64, e.ymax+2)
+	downDiff := make([]float64, e.ymax+2)
+	for ei, edge := range e.g.Edges {
+		srcIn, dstIn := inBand(edge.Src), inBand(edge.Dst)
+		switch {
+		case srcIn && dstIn:
+			b.internal = append(b.internal, ei)
+			ys, yd := e.g.Stages[edge.Src].Label.Y, e.g.Stages[edge.Dst].Label.Y
+			if ys < yd {
+				upDiff[ys] += edge.Volume
+				upDiff[yd] -= edge.Volume
+			} else if yd < ys {
+				downDiff[yd] += edge.Volume
+				downDiff[ys] -= edge.Volume
+			}
+		case srcIn && e.g.Stages[edge.Dst].Label.X > m2:
+			b.outgoing = append(b.outgoing, ei)
+		}
+	}
+	var up, down float64
+	for gp := 0; gp <= e.ymax; gp++ {
+		up += upDiff[gp]
+		down += downDiff[gp]
+		b.upInt[gp] = up
+		b.downInt[gp] = down
+	}
+	// Band-internal ancestor/descendant y masks. Any dependence path between
+	// two band stages stays inside the band (x is strictly increasing along
+	// edges), so band-local reachability suffices for rectangle convexity.
+	nb := len(b.nodes)
+	b.anc = make([][]uint64, nb)
+	b.desc = make([][]uint64, nb)
+	masks := make([]uint64, 2*nb*e.words)
+	for i := 0; i < nb; i++ {
+		b.anc[i], masks = masks[:e.words], masks[e.words:]
+		b.desc[i], masks = masks[:e.words], masks[e.words:]
+	}
+	// Propagate in topological (node list) order.
+	for li, s := range b.nodes {
+		for _, ei := range e.g.OutEdges(s) {
+			edge := e.g.Edges[ei]
+			ld, ok := b.local[edge.Dst]
+			if !ok {
+				continue
+			}
+			y := e.g.Stages[s].Label.Y - 1
+			b.anc[ld][y/64] |= 1 << uint(y%64)
+			for w := 0; w < e.words; w++ {
+				b.anc[ld][w] |= b.anc[li][w]
+			}
+		}
+	}
+	for li := nb - 1; li >= 0; li-- {
+		s := b.nodes[li]
+		for _, ei := range e.g.OutEdges(s) {
+			edge := e.g.Edges[ei]
+			ld, ok := b.local[edge.Dst]
+			if !ok {
+				continue
+			}
+			y := e.g.Stages[edge.Dst].Label.Y - 1
+			b.desc[li][y/64] |= 1 << uint(y%64)
+			for w := 0; w < e.words; w++ {
+				b.desc[li][w] |= b.desc[ld][w]
+			}
+		}
+	}
+	e.bands[key] = b
+	return b
+}
+
+// ecalRect returns the optimal core energy for executing the band stages
+// with rows in [r1..r2] on one core: leakage plus dynamic energy at the
+// slowest feasible speed; 0 for an empty rectangle; +Inf when the period
+// cannot be met or the rectangle is not convex (Section 5.3 sets such
+// entries to +Inf).
+func (e *engine2D) ecalRect(b *bandCtx, r1, r2 int) float64 {
+	idx := r1*(e.ymax+2) + r2
+	if v := b.ecal[idx]; !math.IsNaN(v) {
+		return v
+	}
+	v := e.computeEcal(b, r1, r2)
+	b.ecal[idx] = v
+	return v
+}
+
+func (e *engine2D) computeEcal(b *bandCtx, r1, r2 int) float64 {
+	if e.rectCount(b.m1, b.m2, r1, r2) == 0 {
+		return 0
+	}
+	work := e.rectWork(b.m1, b.m2, r1, r2)
+	_, sIdx, ok := e.pl.MinFeasibleSpeed(work, e.T)
+	if !ok {
+		return math.Inf(1)
+	}
+	// Convexity: no band stage outside rows [r1..r2] may have both an
+	// ancestor and a descendant inside them.
+	mask := make([]uint64, e.words)
+	for y := r1 - 1; y <= r2-1; y++ {
+		mask[y/64] |= 1 << uint(y%64)
+	}
+	for li, s := range b.nodes {
+		y := e.g.Stages[s].Label.Y
+		if y >= r1 && y <= r2 {
+			continue
+		}
+		var hasAnc, hasDesc bool
+		for w := 0; w < e.words; w++ {
+			if b.anc[li][w]&mask[w] != 0 {
+				hasAnc = true
+			}
+			if b.desc[li][w]&mask[w] != 0 {
+				hasDesc = true
+			}
+		}
+		if hasAnc && hasDesc {
+			return math.Inf(1)
+		}
+	}
+	return e.pl.CoreEnergy(work, e.T, sIdx)
+}
+
+// innerResult is the outcome of the inner (column) DP for one band.
+type innerResult struct {
+	energy float64
+	cuts   []int // cuts[u], u = 0..P: rows (cuts[u-1]..cuts[u]] go to core u-1
+}
+
+// inner runs the column DP of Section 5.3 for band b given the arriving
+// distribution D' and returns the optimal row partition. Arrivals
+// terminating in the band climb or descend from their arrival row to the
+// core of their destination stage; arrivals destined beyond the band are
+// forwarded horizontally and do not touch vertical links.
+func (e *engine2D) inner(b *bandCtx, arrivals []distEntry) (innerResult, bool) {
+	P := e.pl.P
+	ymax := e.ymax
+
+	// 2D prefix sums of terminating arrival volume by (arrival row, dest y):
+	// t2d[r][y] = volume with row < r and dest y <= y.
+	t2d := make([][]float64, P+1)
+	for r := 0; r <= P; r++ {
+		t2d[r] = make([]float64, ymax+1)
+	}
+	for _, d := range arrivals {
+		edge := e.g.Edges[d.edge]
+		dx := e.g.Stages[edge.Dst].Label.X
+		if dx > b.m2 {
+			continue // forwarded through this column
+		}
+		dy := e.g.Stages[edge.Dst].Label.Y
+		t2d[d.row+1][dy] += edge.Volume
+	}
+	for r := 1; r <= P; r++ {
+		for y := 1; y <= ymax; y++ {
+			t2d[r][y] += t2d[r][y-1]
+		}
+		for y := 0; y <= ymax; y++ {
+			t2d[r][y] += t2d[r-1][y]
+		}
+	}
+
+	// ever returns the vertical-link cost of the boundary below core u
+	// (1-based) when rows <= gp are on cores < u. It returns +Inf when a
+	// direction overflows the link capacity.
+	ever := func(gp, u int) float64 {
+		if u == 1 {
+			return 0
+		}
+		// Link between cores u-1 and u (physical rows u-2 and u-1).
+		// Upward crossings: arrivals at rows <= u-2 with destination row
+		// above the cut (y > gp). Downward: arrivals at rows >= u-1 with
+		// destination at or below the cut (y <= gp).
+		up := b.upInt[gp] + t2d[u-1][ymax] - t2d[u-1][gp]
+		down := b.downInt[gp] + t2d[P][gp] - t2d[u-1][gp]
+		if up > e.capL*(1+1e-12) || down > e.capL*(1+1e-12) {
+			return math.Inf(1)
+		}
+		return (up + down) * e.pl.EnergyPerGB
+	}
+
+	ec := make([][]float64, ymax+1)
+	par := make([][]int, ymax+1)
+	for g := 0; g <= ymax; g++ {
+		ec[g] = make([]float64, P+1)
+		par[g] = make([]int, P+1)
+		for u := 0; u <= P; u++ {
+			ec[g][u] = math.Inf(1)
+			par[g][u] = -1
+		}
+	}
+	ec[0][0] = 0
+	for u := 1; u <= P; u++ {
+		for g := 0; g <= ymax; g++ {
+			// g' descends from g (empty rectangle) to 0; the rectangle work
+			// grows monotonically, so stop once it exceeds the core budget.
+			for gp := g; gp >= 0; gp-- {
+				if gp < g && e.rectWork(b.m1, b.m2, gp+1, g) > e.maxWork {
+					break
+				}
+				base := ec[gp][u-1]
+				if math.IsInf(base, 1) {
+					continue
+				}
+				var rectE float64
+				if gp < g {
+					rectE = e.ecalRect(b, gp+1, g)
+					if math.IsInf(rectE, 1) {
+						continue
+					}
+				}
+				vertE := ever(gp, u)
+				if math.IsInf(vertE, 1) {
+					continue
+				}
+				if cand := base + rectE + vertE; cand < ec[g][u] {
+					ec[g][u] = cand
+					par[g][u] = gp
+				}
+			}
+		}
+	}
+	if math.IsInf(ec[ymax][P], 1) {
+		return innerResult{}, false
+	}
+	cuts := make([]int, P+1)
+	cuts[P] = ymax
+	for u := P; u >= 1; u-- {
+		cuts[u-1] = par[cuts[u]][u]
+	}
+	return innerResult{energy: ec[ymax][P], cuts: cuts}, true
+}
+
+// outDistribution builds the outgoing distribution D of a band solved with
+// the given cuts: forwarded arrivals keep their row; new outgoing
+// communications are emitted on the row of the core hosting their source.
+func (e *engine2D) outDistribution(b *bandCtx, arrivals []distEntry, cuts []int) []distEntry {
+	var out []distEntry
+	for _, d := range arrivals {
+		if e.g.Stages[e.g.Edges[d.edge].Dst].Label.X > b.m2 {
+			out = append(out, d)
+		}
+	}
+	for _, ei := range b.outgoing {
+		y := e.g.Stages[e.g.Edges[ei].Src].Label.Y
+		out = append(out, distEntry{edge: ei, row: rowCore(cuts, y)})
+	}
+	return out
+}
+
+// solve2D runs the nested DP on the label grid of g against pl and returns
+// the best plan over all numbers of used columns.
+func solve2D(g *spg.Graph, pl *platform.Platform, T float64) (*plan2D, error) {
+	e := newEngine2D(g, pl, T)
+	xmax := e.xmax
+	vmax := pl.Q
+	if xmax < vmax {
+		vmax = xmax
+	}
+	colBudget := float64(pl.P) * e.maxWork
+
+	type outerState struct {
+		energy float64
+		prevM  int
+		cuts   []int
+		dist   []distEntry
+	}
+	newRow := func() []outerState {
+		row := make([]outerState, xmax+1)
+		for i := range row {
+			row[i].energy = math.Inf(1)
+			row[i].prevM = -1
+		}
+		return row
+	}
+
+	rows := make([][]outerState, vmax+1)
+	rows[0] = newRow() // unused; bands are 1-based in v
+
+	// v = 1: a single band of levels [1..m].
+	rows[1] = newRow()
+	for m := 1; m <= xmax; m++ {
+		if e.rectWork(1, m, 1, e.ymax) > colBudget {
+			break // wider bands only grow heavier
+		}
+		b := e.band(1, m)
+		ir, ok := e.inner(b, nil)
+		if !ok {
+			continue
+		}
+		rows[1][m] = outerState{
+			energy: ir.energy,
+			prevM:  0,
+			cuts:   ir.cuts,
+			dist:   e.outDistribution(b, nil, ir.cuts),
+		}
+	}
+
+	for v := 2; v <= vmax; v++ {
+		rows[v] = newRow()
+		for m := v; m <= xmax; m++ {
+			best := &rows[v][m]
+			for mp := m - 1; mp >= v-1; mp-- {
+				if e.rectWork(mp+1, m, 1, e.ymax) > colBudget {
+					break
+				}
+				prev := &rows[v-1][mp]
+				if math.IsInf(prev.energy, 1) {
+					continue
+				}
+				// Horizontal crossing between columns v-1 and v: check the
+				// per-row bandwidth and charge one hop per entry.
+				rowLoad := make(map[int]float64)
+				var commE float64
+				feasible := true
+				for _, d := range prev.dist {
+					vol := e.g.Edges[d.edge].Volume
+					rowLoad[d.row] += vol
+					commE += vol * pl.EnergyPerGB
+				}
+				for _, load := range rowLoad {
+					if load > e.capL*(1+1e-12) {
+						feasible = false
+						break
+					}
+				}
+				if !feasible {
+					continue
+				}
+				b := e.band(mp+1, m)
+				ir, ok := e.inner(b, prev.dist)
+				if !ok {
+					continue
+				}
+				if cand := prev.energy + commE + ir.energy; cand < best.energy {
+					best.energy = cand
+					best.prevM = mp
+					best.cuts = ir.cuts
+				}
+			}
+			if best.prevM >= 0 {
+				b := e.band(best.prevM+1, m)
+				best.dist = e.outDistribution(b, rows[v-1][best.prevM].dist, best.cuts)
+			}
+		}
+	}
+
+	bestV, bestE := -1, math.Inf(1)
+	for v := 1; v <= vmax; v++ {
+		if rows[v][xmax].energy < bestE {
+			bestE = rows[v][xmax].energy
+			bestV = v
+		}
+	}
+	if bestV < 0 {
+		return nil, ErrNoSolution
+	}
+	plan := &plan2D{
+		bandEnd: make([]int, bestV),
+		rowCuts: make([][]int, bestV),
+		energy:  bestE,
+	}
+	m := xmax
+	for v := bestV; v >= 1; v-- {
+		st := rows[v][m]
+		plan.bandEnd[v-1] = m
+		plan.rowCuts[v-1] = st.cuts
+		m = st.prevM
+	}
+	return plan, nil
+}

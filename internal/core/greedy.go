@@ -1,0 +1,320 @@
+package core
+
+import (
+	"sort"
+
+	"spgcmp/internal/mapping"
+	"spgcmp/internal/platform"
+)
+
+// Greedy is the heuristic of Section 5.2. For every speed s it runs a
+// wavefront assignment greedy(s) with all cores at speed s: starting from
+// C(1,1) with the source stage, each core accumulates ready stages (largest
+// incoming communication first) while its computation cycle-time fits the
+// period and the XY routes of the incoming communications fit the link
+// bandwidth; the remaining pending stages are shared between the right and
+// down neighbours, balancing the forwarded communication volume. Speeds are
+// then downgraded per core to the slowest feasible value and the best
+// resulting energy over all s is kept.
+//
+// Because cores are processed in a fixed sweep order and a stage is only
+// placed once all its predecessors are placed, every quotient edge goes
+// forward in the sweep order, so the DAG-partition rule holds by
+// construction.
+//
+// Two sweeps are tried per speed: the paper's anti-diagonal wavefront
+// (leftovers shared between the right and down neighbours) and, as a
+// robustness fallback, a snake sweep (leftovers forwarded to the next snake
+// position), which cannot strand stages in the bottom-right corner on tight
+// periods. The best valid result wins.
+type Greedy struct{}
+
+// NewGreedy returns the heuristic.
+func NewGreedy() *Greedy { return &Greedy{} }
+
+// Name implements Heuristic.
+func (h *Greedy) Name() string { return "Greedy" }
+
+// Solve implements Heuristic.
+func (h *Greedy) Solve(inst Instance) (*Solution, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	var best *Solution
+	for sIdx := range inst.Platform.Speeds {
+		// The snake sweep is a pure feasibility fallback: it only runs when
+		// the paper's wavefront finds nothing valid at this speed, which
+		// preserves the paper's quality characteristics (Greedy robust but
+		// dominated by the specialized heuristics).
+		for _, sweep := range []sweepPlan{diagonalSweep(inst.Platform), snakeSweep(inst.Platform)} {
+			m, ok := greedyAtSpeed(inst, sIdx, sweep)
+			if !ok {
+				continue
+			}
+			// Downgrade each enrolled core to its slowest feasible speed and
+			// turn off unused cores before computing the energy (Section 5.2).
+			if !m.DowngradeSpeeds(inst.Graph, inst.Platform, inst.Period) {
+				continue
+			}
+			sol, err := finish(h.Name(), inst, m)
+			if err != nil {
+				continue
+			}
+			if best == nil || sol.Energy() < best.Energy() {
+				best = sol
+			}
+			break // this speed succeeded; no fallback needed
+		}
+	}
+	if best == nil {
+		return nil, ErrNoSolution
+	}
+	return best, nil
+}
+
+// sweepPlan fixes the core processing order and the forwarding targets of a
+// greedy sweep. Targets must come strictly later in the order.
+type sweepPlan struct {
+	order   []platform.Core
+	targets func(platform.Core) []platform.Core
+}
+
+// diagonalSweep is the paper's wavefront: anti-diagonal order, leftovers
+// shared between the right and down neighbours.
+func diagonalSweep(pl *platform.Platform) sweepPlan {
+	var order []platform.Core
+	for d := 0; d <= pl.P+pl.Q-2; d++ {
+		for u := 0; u < pl.P; u++ {
+			v := d - u
+			if v >= 0 && v < pl.Q {
+				order = append(order, platform.Core{U: u, V: v})
+			}
+		}
+	}
+	return sweepPlan{
+		order: order,
+		targets: func(c platform.Core) []platform.Core {
+			var ts []platform.Core
+			for _, t := range []platform.Core{{U: c.U, V: c.V + 1}, {U: c.U + 1, V: c.V}} {
+				if pl.InBounds(t) {
+					ts = append(ts, t)
+				}
+			}
+			return ts
+		},
+	}
+}
+
+// snakeSweep processes cores along the snake embedding and forwards
+// leftovers to the next position; only the very last core can strand stages.
+func snakeSweep(pl *platform.Platform) sweepPlan {
+	s := platform.NewSnake(pl)
+	order := make([]platform.Core, s.Len())
+	for k := 0; k < s.Len(); k++ {
+		order[k] = s.Core(k)
+	}
+	return sweepPlan{
+		order: order,
+		targets: func(c platform.Core) []platform.Core {
+			k := s.Position(c)
+			if k+1 >= s.Len() {
+				return nil
+			}
+			return []platform.Core{s.Core(k + 1)}
+		},
+	}
+}
+
+// greedyAtSpeed runs the procedure greedy(s) of Section 5.2 under the given
+// sweep plan.
+func greedyAtSpeed(inst Instance, sIdx int, sweep sweepPlan) (*mapping.Mapping, bool) {
+	g, pl, T := inst.Graph, inst.Platform, inst.Period
+	n := g.N()
+	capW := T * pl.Speeds[sIdx]
+	capL := pl.LinkCapacity(T)
+
+	predsLeft := make([]int, n)
+	inVolume := make([]float64, n) // total incoming communication volume
+	for i := 0; i < n; i++ {
+		predsLeft[i] = len(g.Predecessors(i))
+		for _, e := range g.InEdges(i) {
+			inVolume[i] += g.Edges[e].Volume
+		}
+	}
+
+	placed := make([]bool, n)
+	alloc := make([]platform.Core, n)
+	pendingAt := make([]int, n) // flattened core index holding the stage, -1 if none
+	for i := range pendingAt {
+		pendingAt[i] = -1
+	}
+	pending := make([][]int, pl.NumCores())
+	linkLoad := make(map[platform.Link]float64)
+	coreWork := make(map[platform.Core]float64)
+	processed := make([]bool, pl.NumCores())
+
+	src := g.Source()
+	start := sweep.order[0]
+	pending[mapping.CoreIndex(pl, start)] = []int{src}
+	pendingAt[src] = mapping.CoreIndex(pl, start)
+
+	placedCount := 0
+
+	// tryPlace attempts to place stage s on core c, honouring the compute
+	// capacity and the bandwidth of every XY link its incoming
+	// communications would use. It commits on success.
+	tryPlace := func(s int, c platform.Core) bool {
+		if coreWork[c]+g.Stages[s].Weight > capW {
+			return false
+		}
+		// Gather the per-link extra load of the incoming communications.
+		extra := make(map[platform.Link]float64)
+		for _, e := range g.InEdges(s) {
+			edge := g.Edges[e]
+			from := alloc[edge.Src]
+			if from == c {
+				continue
+			}
+			for _, l := range pl.XYPath(from, c) {
+				extra[l] += edge.Volume
+			}
+		}
+		for l, v := range extra {
+			if linkLoad[l]+v > capL {
+				return false
+			}
+		}
+		for l, v := range extra {
+			linkLoad[l] += v
+		}
+		coreWork[c] += g.Stages[s].Weight
+		placed[s] = true
+		alloc[s] = c
+		placedCount++
+		if pendingAt[s] >= 0 {
+			// Remove from its pending list lazily: mark only.
+			pendingAt[s] = -1
+		}
+		return true
+	}
+
+	// processCore grows core c and shares the leftovers with its right and
+	// down neighbours.
+	processCore := func(c platform.Core) bool {
+		ci := mapping.CoreIndex(pl, c)
+		processed[ci] = true
+		list := pending[ci]
+		pending[ci] = nil
+
+		// current returns the live pending stages at c (placed/moved ones
+		// are dropped).
+		compact := func() []int {
+			out := list[:0]
+			for _, s := range list {
+				if !placed[s] && pendingAt[s] == ci {
+					out = append(out, s)
+				}
+			}
+			return out
+		}
+
+		for {
+			list = compact()
+			// Candidates: pending stages whose predecessors are all placed,
+			// sorted by non-increasing incoming volume (Section 5.2 sorts
+			// successors by communication volume).
+			cands := make([]int, 0, len(list))
+			for _, s := range list {
+				if predsLeft[s] == 0 {
+					cands = append(cands, s)
+				}
+			}
+			sort.Slice(cands, func(a, b int) bool {
+				if inVolume[cands[a]] != inVolume[cands[b]] {
+					return inVolume[cands[a]] > inVolume[cands[b]]
+				}
+				return cands[a] < cands[b]
+			})
+			placedOne := false
+			for _, s := range cands {
+				if !tryPlace(s, c) {
+					continue
+				}
+				placedOne = true
+				// Newly discovered / newly ready successors become pending
+				// here (or stay wherever they already wait).
+				for _, succ := range g.Successors(s) {
+					predsLeft[succ]--
+					if pendingAt[succ] == -1 && !placed[succ] {
+						pendingAt[succ] = ci
+						list = append(list, succ)
+					} else if predsLeft[succ] == 0 && !placed[succ] && pendingAt[succ] != ci {
+						// Ready now: if it waits on an already-processed
+						// core it would be lost; pull it here.
+						if processed[pendingAt[succ]] {
+							pendingAt[succ] = ci
+							list = append(list, succ)
+						}
+					}
+				}
+				break
+			}
+			if !placedOne {
+				break
+			}
+		}
+
+		// Share the leftovers among the forwarding targets, heaviest
+		// communication first, to the currently lightest target.
+		list = compact()
+		if len(list) == 0 {
+			return true
+		}
+		targets := sweep.targets(c)
+		if len(targets) == 0 {
+			return false // last core with unplaced stages: greedy(s) fails
+		}
+		sort.Slice(list, func(a, b int) bool {
+			if inVolume[list[a]] != inVolume[list[b]] {
+				return inVolume[list[a]] > inVolume[list[b]]
+			}
+			return list[a] < list[b]
+		})
+		forwarded := make([]float64, len(targets))
+		for _, s := range list {
+			pick := 0
+			for ti := 1; ti < len(targets); ti++ {
+				if forwarded[ti] < forwarded[pick] {
+					pick = ti
+				}
+			}
+			forwarded[pick] += inVolume[s]
+			ti := mapping.CoreIndex(pl, targets[pick])
+			pendingAt[s] = ti
+			pending[ti] = append(pending[ti], s)
+		}
+		return true
+	}
+
+	// Sweep: forwarding targets always come later in the order, so every
+	// upstream source of a core is processed before the core itself.
+	for _, c := range sweep.order {
+		if len(pending[mapping.CoreIndex(pl, c)]) == 0 {
+			processed[mapping.CoreIndex(pl, c)] = true
+			continue
+		}
+		if !processCore(c) {
+			return nil, false
+		}
+	}
+	if placedCount != n {
+		return nil, false
+	}
+
+	m := mapping.New(n, pl)
+	copy(m.Alloc, alloc)
+	for c := range coreWork {
+		m.SetSpeed(pl, c, sIdx)
+	}
+	return m, true
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"spgcmp/internal/platform"
+	"spgcmp/internal/spg"
+)
+
+func TestDiagonalSweepOrder(t *testing.T) {
+	pl := platform.XScale(3, 3)
+	plan := diagonalSweep(pl)
+	if len(plan.order) != 9 {
+		t.Fatalf("order covers %d cores", len(plan.order))
+	}
+	pos := make(map[platform.Core]int)
+	for i, c := range plan.order {
+		pos[c] = i
+	}
+	// Anti-diagonal monotonicity: core (u,v) comes before (u,v+1) and (u+1,v).
+	for _, c := range plan.order {
+		for _, tgt := range plan.targets(c) {
+			if pos[tgt] <= pos[c] {
+				t.Errorf("target %v of %v is not later in the sweep", tgt, c)
+			}
+		}
+	}
+	// Corner has no targets.
+	if ts := plan.targets(platform.Core{U: 2, V: 2}); len(ts) != 0 {
+		t.Errorf("corner targets = %v", ts)
+	}
+}
+
+func TestSnakeSweepOrder(t *testing.T) {
+	pl := platform.XScale(3, 4)
+	plan := snakeSweep(pl)
+	if len(plan.order) != 12 {
+		t.Fatalf("order covers %d cores", len(plan.order))
+	}
+	for i, c := range plan.order[:len(plan.order)-1] {
+		ts := plan.targets(c)
+		if len(ts) != 1 || ts[0] != plan.order[i+1] {
+			t.Errorf("snake target of %v = %v, want %v", c, ts, plan.order[i+1])
+		}
+	}
+	if ts := plan.targets(plan.order[len(plan.order)-1]); len(ts) != 0 {
+		t.Errorf("last snake core has targets %v", ts)
+	}
+}
+
+// TestGreedySnakeFallbackRescues: an instance engineered so the diagonal
+// wavefront cannot place everything (many equal stages, tight per-core
+// capacity on a small grid) but the snake sweep can.
+func TestGreedySnakeFallbackRescues(t *testing.T) {
+	// 2x2 grid, chain of 8 stages, exactly 2 stages per core at full speed.
+	g := testChain(t, 8, 0.05, 0.00001)
+	pl := platform.XScale(2, 2)
+	inst := Instance{Graph: g, Platform: pl, Period: 0.1}
+
+	diag, okDiag := greedyAtSpeed(inst, len(pl.Speeds)-1, diagonalSweep(pl))
+	snake, okSnake := greedyAtSpeed(inst, len(pl.Speeds)-1, snakeSweep(pl))
+	if okDiag && diag == nil || okSnake && snake == nil {
+		t.Fatal("inconsistent sweep results")
+	}
+	// The snake sweep must place all 8 stages (2 per core); record whether
+	// the diagonal one does too — the Solve wrapper must succeed either way.
+	if !okSnake {
+		t.Fatal("snake sweep failed on a perfectly packable chain")
+	}
+	if _, err := NewGreedy().Solve(inst); err != nil {
+		t.Fatalf("Greedy failed although the snake sweep succeeds: %v", err)
+	}
+}
+
+// TestGreedyQuotientAcyclicByConstruction: across random workloads, every
+// greedy success passes the evaluator (which enforces quotient acyclicity) —
+// exercised here at a tighter period than the generic suite.
+func TestGreedyQuotientAcyclicByConstruction(t *testing.T) {
+	pl := platform.XScale(4, 4)
+	for seed := int64(0); seed < 10; seed++ {
+		g := testRandomSPG(t, seed, 40, 1)
+		for _, T := range []float64{1, 0.3, 0.15} {
+			inst := Instance{Graph: g, Platform: pl, Period: T}
+			sol, err := NewGreedy().Solve(inst)
+			if err != nil {
+				continue
+			}
+			if sol.Result.MaxCycleTime > T*(1+1e-9) {
+				t.Errorf("seed %d T=%g: cycle time exceeds period", seed, T)
+			}
+		}
+	}
+}
+
+// TestGreedySingleCoreGraph: a two-stage workflow on a 1x1 platform.
+func TestGreedySingleCoreGraph(t *testing.T) {
+	g := spg.Primitive(0.02, 0.03, 0.001)
+	pl := platform.XScale(1, 1)
+	inst := Instance{Graph: g, Platform: pl, Period: 0.4}
+	sol, err := NewGreedy().Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Result.ActiveCores != 1 {
+		t.Errorf("active cores = %d", sol.Result.ActiveCores)
+	}
+	if sol.Result.CommDynEnergy != 0 {
+		t.Errorf("single-core mapping has comm energy")
+	}
+}

@@ -1,0 +1,89 @@
+// Package core implements the paper's primary contribution: the five
+// polynomial-time heuristics for the MinEnergy(T) problem — Random, Greedy,
+// DPA2D, DPA1D and DPA2D1D (Section 5) — built on the SPG, platform and
+// mapping substrates. MinEnergy(T) asks for a DAG-partition mapping of a
+// series-parallel workflow onto a CMP whose maximum resource cycle-time does
+// not exceed the period bound T and whose energy is minimum (Definition 1).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"spgcmp/internal/mapping"
+	"spgcmp/internal/platform"
+	"spgcmp/internal/spg"
+)
+
+// ErrNoSolution is returned when a heuristic cannot produce any valid mapping
+// for the instance: the paper records these events as failures (Tables 2
+// and 3).
+var ErrNoSolution = errors.New("core: heuristic found no valid mapping")
+
+// Instance is one MinEnergy(T) problem instance.
+type Instance struct {
+	Graph    *spg.Graph
+	Platform *platform.Platform
+	Period   float64 // the bound T, in seconds
+}
+
+// Validate sanity-checks the instance.
+func (inst Instance) Validate() error {
+	if inst.Graph == nil || inst.Platform == nil {
+		return errors.New("core: instance missing graph or platform")
+	}
+	if err := inst.Graph.Validate(); err != nil {
+		return err
+	}
+	if err := inst.Platform.Validate(); err != nil {
+		return err
+	}
+	if inst.Period <= 0 {
+		return fmt.Errorf("core: period %g is not positive", inst.Period)
+	}
+	return nil
+}
+
+// Solution is a valid mapping together with its evaluation.
+type Solution struct {
+	Heuristic string
+	Mapping   *mapping.Mapping
+	Result    *mapping.Result
+}
+
+// Energy returns the total energy of the solution.
+func (s *Solution) Energy() float64 { return s.Result.Energy }
+
+// Heuristic is the interface implemented by the five algorithms of Section 5
+// and by the exact solver.
+type Heuristic interface {
+	// Name returns the paper's name for the algorithm.
+	Name() string
+	// Solve returns a valid solution or ErrNoSolution (possibly wrapped with
+	// a cause, e.g. a state-budget overflow for DPA1D).
+	Solve(inst Instance) (*Solution, error)
+}
+
+// finish evaluates a candidate mapping with the authoritative evaluator and
+// wraps it into a Solution. Heuristics call it as their final step so that
+// no invalid mapping ever escapes and all reported energies come from the
+// same model.
+func finish(name string, inst Instance, m *mapping.Mapping) (*Solution, error) {
+	res, err := mapping.Evaluate(inst.Graph, inst.Platform, m, inst.Period)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s produced an invalid mapping: %v", ErrNoSolution, name, err)
+	}
+	return &Solution{Heuristic: name, Mapping: m, Result: res}, nil
+}
+
+// All returns the five heuristics of the paper in presentation order, with
+// their default configurations. seed drives the Random heuristic.
+func All(seed int64) []Heuristic {
+	return []Heuristic{
+		NewRandom(seed),
+		NewGreedy(),
+		NewDPA2D(),
+		NewDPA1D(),
+		NewDPA2D1D(),
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+
+	"spgcmp/internal/mapping"
+	"spgcmp/internal/platform"
+)
+
+// Random is the baseline heuristic of Section 5.1. Each trial randomly grows
+// a DAG-partition that respects the computation period (choosing a random
+// speed per cluster), then places the clusters on random distinct cores with
+// XY routing. The heuristic runs a fixed number of trials and keeps the valid
+// mapping of minimum energy.
+type Random struct {
+	// Trials is the number of independent attempts; the paper uses 10.
+	Trials int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// NewRandom returns the paper's configuration: 10 trials.
+func NewRandom(seed int64) *Random { return &Random{Trials: 10, Seed: seed} }
+
+// Name implements Heuristic.
+func (h *Random) Name() string { return "Random" }
+
+// Solve implements Heuristic.
+func (h *Random) Solve(inst Instance) (*Solution, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	trials := h.Trials
+	if trials <= 0 {
+		trials = 10
+	}
+	rng := rand.New(rand.NewSource(h.Seed))
+	var best *Solution
+	for t := 0; t < trials; t++ {
+		m, ok := h.trial(inst, rng)
+		if !ok {
+			continue
+		}
+		sol, err := finish(h.Name(), inst, m)
+		if err != nil {
+			continue
+		}
+		if best == nil || sol.Energy() < best.Energy() {
+			best = sol
+		}
+	}
+	if best == nil {
+		return nil, ErrNoSolution
+	}
+	return best, nil
+}
+
+type randomCluster struct {
+	stages   []int
+	speedIdx int
+}
+
+// trial performs the two-step procedure of Section 5.1: build a random
+// DAG-partition whose clusters respect the computation period, then map the
+// clusters onto random distinct cores and route with XY. The caller validates
+// link bandwidth through the evaluator.
+func (h *Random) trial(inst Instance, rng *rand.Rand) (*mapping.Mapping, bool) {
+	g, pl, T := inst.Graph, inst.Platform, inst.Period
+	n := g.N()
+
+	predsLeft := make([]int, n)
+	for i := 0; i < n; i++ {
+		predsLeft[i] = len(g.Predecessors(i))
+	}
+	assignedCount := 0
+	ready := []int{g.Source()}
+	var clusters []randomCluster
+
+	// pickSpeed draws a random speed able to host at least weight w.
+	pickSpeed := func(w float64) (int, bool) {
+		feasible := make([]int, 0, len(pl.Speeds))
+		for k, s := range pl.Speeds {
+			if w <= T*s {
+				feasible = append(feasible, k)
+			}
+		}
+		if len(feasible) == 0 {
+			return 0, false
+		}
+		return feasible[rng.Intn(len(feasible))], true
+	}
+
+	for assignedCount < n {
+		if len(ready) == 0 {
+			return nil, false // defensive; cannot happen on a DAG
+		}
+		// New cluster, seeded with the first stage of the current list.
+		first := ready[0]
+		ready = ready[1:]
+		speedIdx, ok := pickSpeed(g.Stages[first].Weight)
+		if !ok {
+			return nil, false
+		}
+		cl := randomCluster{speedIdx: speedIdx}
+		capW := T * pl.Speeds[speedIdx]
+		work := 0.0
+
+		add := func(s int) {
+			cl.stages = append(cl.stages, s)
+			work += g.Stages[s].Weight
+			assignedCount++
+			for _, succ := range g.Successors(s) {
+				predsLeft[succ]--
+				if predsLeft[succ] == 0 {
+					ready = append(ready, succ)
+				}
+			}
+		}
+		add(first)
+
+		// Grow with random ready stages as long as computations fit; the
+		// first unlucky draw closes the cluster (Section 5.1).
+		for len(ready) > 0 {
+			pick := rng.Intn(len(ready))
+			s := ready[pick]
+			if work+g.Stages[s].Weight > capW {
+				break
+			}
+			ready[pick] = ready[len(ready)-1]
+			ready = ready[:len(ready)-1]
+			add(s)
+		}
+		clusters = append(clusters, cl)
+	}
+
+	// Step 2: place clusters on random distinct cores.
+	if len(clusters) > pl.NumCores() {
+		return nil, false
+	}
+	perm := rng.Perm(pl.NumCores())
+	m := mapping.New(n, pl)
+	for ci, cl := range clusters {
+		c := platform.Core{U: perm[ci] / pl.Q, V: perm[ci] % pl.Q}
+		for _, s := range cl.stages {
+			m.Alloc[s] = c
+		}
+		m.SetSpeed(pl, c, cl.speedIdx)
+	}
+	return m, true
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sort"
+
+	"spgcmp/internal/mapping"
+	"spgcmp/internal/platform"
+)
+
+// Refiner is an extension beyond the paper: a deterministic local search
+// that post-optimizes any valid mapping. It repeatedly evaluates two kinds
+// of moves — migrating a single stage to another core (used or idle) and
+// evacuating a whole cluster onto another idle core — and applies the move
+// with the largest energy decrease, until no move improves the energy or the
+// move budget is exhausted. Every candidate is checked through the
+// authoritative evaluator, so validity (DAG-partition rule, period, link
+// bandwidth) is preserved by construction.
+//
+// The paper's specialized heuristics explore structured solution families
+// (chains of downsets, label-grid rectangles); the refiner explores their
+// local neighbourhood in the unstructured solution space, which is exactly
+// what the structured programs cannot reach. The ablation benchmark
+// BenchmarkAblationRefinement quantifies the gap it closes.
+type Refiner struct {
+	// MaxMoves caps the number of applied moves (default 64).
+	MaxMoves int
+	// MaxCandidates caps evaluator calls (default 50000).
+	MaxCandidates int
+}
+
+// NewRefiner returns the default configuration.
+func NewRefiner() *Refiner { return &Refiner{MaxMoves: 64, MaxCandidates: 50_000} }
+
+// Refine improves the solution in place semantics-wise: it returns a new
+// Solution at least as good as the input (never worse), leaving the input
+// untouched.
+func (r *Refiner) Refine(inst Instance, sol *Solution) *Solution {
+	maxMoves := r.MaxMoves
+	if maxMoves <= 0 {
+		maxMoves = 64
+	}
+	budget := r.MaxCandidates
+	if budget <= 0 {
+		budget = 50_000
+	}
+
+	g, pl, T := inst.Graph, inst.Platform, inst.Period
+	best := &Solution{Heuristic: sol.Heuristic, Mapping: sol.Mapping.Clone(), Result: sol.Result}
+	// Pinned paths from 1D heuristics would no longer match after moves;
+	// refinement operates in XY-routing space.
+	if best.Mapping.Paths != nil {
+		best.Mapping.Paths = nil
+		res, err := mapping.Evaluate(g, pl, best.Mapping, T)
+		if err != nil {
+			return sol // snake routing was load-bearing; leave untouched
+		}
+		if res.Energy > sol.Result.Energy {
+			// XY rerouting may overload a link that the snake avoided.
+			return sol
+		}
+		best.Result = res
+	}
+
+	try := func(m *mapping.Mapping) *mapping.Result {
+		if budget <= 0 {
+			return nil
+		}
+		budget--
+		if !m.DowngradeSpeeds(g, pl, T) {
+			return nil
+		}
+		res, err := mapping.Evaluate(g, pl, m, T)
+		if err != nil {
+			return nil
+		}
+		return res
+	}
+
+	for move := 0; move < maxMoves && budget > 0; move++ {
+		var bestCand *Solution
+		cores, byCore := best.Mapping.Clusters(pl)
+
+		// Candidate targets: every used core plus one representative idle
+		// core adjacent to a used one (by symmetry one idle target per
+		// neighbourhood suffices and keeps the scan linear).
+		targets := make([]platform.Core, len(cores))
+		copy(targets, cores)
+		seen := make(map[platform.Core]bool)
+		for _, c := range cores {
+			seen[c] = true
+		}
+		for _, c := range cores {
+			for _, n := range neighbours(pl, c) {
+				if !seen[n] {
+					seen[n] = true
+					targets = append(targets, n)
+				}
+			}
+		}
+		sort.Slice(targets[len(cores):], func(i, j int) bool {
+			a, b := targets[len(cores)+i], targets[len(cores)+j]
+			if a.U != b.U {
+				return a.U < b.U
+			}
+			return a.V < b.V
+		})
+
+		// Single-stage migrations.
+		for s := 0; s < g.N() && budget > 0; s++ {
+			from := best.Mapping.Alloc[s]
+			for _, to := range targets {
+				if to == from {
+					continue
+				}
+				cand := best.Mapping.Clone()
+				cand.Alloc[s] = to
+				if res := try(cand); res != nil && res.Energy < best.Result.Energy-1e-15 {
+					if bestCand == nil || res.Energy < bestCand.Result.Energy {
+						bestCand = &Solution{Heuristic: best.Heuristic, Mapping: cand, Result: res}
+					}
+				}
+			}
+		}
+		// Whole-cluster merges: move every stage of one cluster onto
+		// another used core (reduces leakage when the period allows).
+		for _, from := range cores {
+			for _, to := range cores {
+				if to == from || budget <= 0 {
+					break
+				}
+				cand := best.Mapping.Clone()
+				for _, s := range byCore[from] {
+					cand.Alloc[s] = to
+				}
+				if res := try(cand); res != nil && res.Energy < best.Result.Energy-1e-15 {
+					if bestCand == nil || res.Energy < bestCand.Result.Energy {
+						bestCand = &Solution{Heuristic: best.Heuristic, Mapping: cand, Result: res}
+					}
+				}
+			}
+		}
+		if bestCand == nil {
+			break
+		}
+		best = bestCand
+	}
+	if best.Result.Energy < sol.Result.Energy {
+		best.Heuristic = sol.Heuristic + "+refine"
+		return best
+	}
+	return sol
+}
+
+func neighbours(pl *platform.Platform, c platform.Core) []platform.Core {
+	var out []platform.Core
+	for _, n := range []platform.Core{
+		{U: c.U - 1, V: c.V}, {U: c.U + 1, V: c.V},
+		{U: c.U, V: c.V - 1}, {U: c.U, V: c.V + 1},
+	} {
+		if pl.InBounds(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"spgcmp/internal/mapping"
+	"spgcmp/internal/platform"
+)
+
+// TestRefineNeverWorsens: the refiner must return a solution at least as
+// good as its input across heuristics and workloads.
+func TestRefineNeverWorsens(t *testing.T) {
+	pl := platform.XScale(4, 4)
+	ref := NewRefiner()
+	for seed := int64(0); seed < 6; seed++ {
+		g := testRandomSPG(t, seed, 25, 1)
+		inst := Instance{Graph: g, Platform: pl, Period: 0.15}
+		for _, h := range All(seed) {
+			sol, err := h.Solve(inst)
+			if err != nil {
+				continue
+			}
+			improved := ref.Refine(inst, sol)
+			if improved.Energy() > sol.Energy()+1e-12 {
+				t.Errorf("seed %d %s: refine worsened %.9g -> %.9g",
+					seed, h.Name(), sol.Energy(), improved.Energy())
+			}
+			// The refined mapping must still pass the evaluator.
+			if _, err := mapping.Evaluate(g, pl, improved.Mapping, inst.Period); err != nil {
+				t.Errorf("seed %d %s: refined mapping invalid: %v", seed, h.Name(), err)
+			}
+		}
+	}
+}
+
+// TestRefineImprovesRandom: Random leaves obvious slack (random placement);
+// the refiner should find a strict improvement on at least one of a handful
+// of instances.
+func TestRefineImprovesRandom(t *testing.T) {
+	pl := platform.XScale(4, 4)
+	ref := NewRefiner()
+	improvedOnce := false
+	for seed := int64(0); seed < 8 && !improvedOnce; seed++ {
+		g := testRandomSPG(t, seed, 25, 1)
+		inst := Instance{Graph: g, Platform: pl, Period: 0.15}
+		sol, err := NewRandom(seed).Solve(inst)
+		if err != nil {
+			continue
+		}
+		improved := ref.Refine(inst, sol)
+		if improved.Energy() < sol.Energy()-1e-12 {
+			improvedOnce = true
+			if improved.Heuristic != "Random+refine" {
+				t.Errorf("improved solution not renamed: %q", improved.Heuristic)
+			}
+		}
+	}
+	if !improvedOnce {
+		t.Error("refiner never improved any Random solution")
+	}
+}
+
+// TestRefinePreservesInputSolution: the input mapping must not be mutated.
+func TestRefinePreservesInputSolution(t *testing.T) {
+	pl := platform.XScale(4, 4)
+	g := testRandomSPG(t, 3, 20, 10)
+	inst := Instance{Graph: g, Platform: pl, Period: 0.15}
+	sol, err := NewRandom(3).Solve(inst)
+	if err != nil {
+		t.Skip("random failed")
+	}
+	allocBefore := append([]platform.Core(nil), sol.Mapping.Alloc...)
+	_ = NewRefiner().Refine(inst, sol)
+	for i := range allocBefore {
+		if sol.Mapping.Alloc[i] != allocBefore[i] {
+			t.Fatalf("refiner mutated the input mapping at stage %d", i)
+		}
+	}
+}
+
+// TestRefineHandlesPinnedPaths: solutions with snake-pinned routes (DPA1D)
+// are either re-routed in XY space or returned unchanged — never invalid,
+// never worse.
+func TestRefineHandlesPinnedPaths(t *testing.T) {
+	pl := platform.XScale(4, 4)
+	g := testChain(t, 10, 0.02, 0.01)
+	inst := Instance{Graph: g, Platform: pl, Period: 0.1}
+	sol, err := NewDPA1D().Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := NewRefiner().Refine(inst, sol)
+	if improved.Energy() > sol.Energy()+1e-12 {
+		t.Errorf("refine worsened pinned-path solution: %.9g -> %.9g", sol.Energy(), improved.Energy())
+	}
+	if _, err := mapping.Evaluate(g, pl, improved.Mapping, inst.Period); err != nil {
+		t.Errorf("refined mapping invalid: %v", err)
+	}
+}
+
+// TestRefineRespectsBudget: a zero-candidate budget must return the input.
+func TestRefineRespectsBudget(t *testing.T) {
+	pl := platform.XScale(4, 4)
+	g := testRandomSPG(t, 5, 20, 1)
+	inst := Instance{Graph: g, Platform: pl, Period: 0.15}
+	sol, err := NewGreedy().Solve(inst)
+	if err != nil {
+		t.Skip("greedy failed")
+	}
+	r := &Refiner{MaxMoves: 64, MaxCandidates: 1}
+	improved := r.Refine(inst, sol)
+	if improved.Energy() > sol.Energy()+1e-12 {
+		t.Errorf("budgeted refine worsened the solution")
+	}
+}
+
+// TestRandomTrialsAblation: more random trials can only help (keep-best
+// semantics) — the design choice behind the paper's "ten calls" rule.
+func TestRandomTrialsAblation(t *testing.T) {
+	pl := platform.XScale(4, 4)
+	for seed := int64(0); seed < 5; seed++ {
+		g := testRandomSPG(t, seed, 25, 10)
+		inst := Instance{Graph: g, Platform: pl, Period: 0.15}
+		one, errOne := (&Random{Trials: 1, Seed: seed}).Solve(inst)
+		ten, errTen := (&Random{Trials: 10, Seed: seed}).Solve(inst)
+		if errTen != nil {
+			if errOne == nil {
+				t.Errorf("seed %d: 10 trials failed where 1 succeeded", seed)
+			}
+			continue
+		}
+		if errOne != nil {
+			continue
+		}
+		if ten.Energy() > one.Energy()+1e-12 {
+			t.Errorf("seed %d: 10-trial energy %.9g worse than 1-trial %.9g",
+				seed, ten.Energy(), one.Energy())
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package exact provides an optimality baseline for MinEnergy(T) on small
+// instances, playing the role of the Section 4.4 integer linear program that
+// the paper solved with CPLEX (on platforms up to 2x2). Two artifacts are
+// provided: an exhaustive solver over DAG-partitions, placements and speeds
+// (this file), and an emitter that writes the paper's exact ILP in CPLEX LP
+// format (ilp.go) for any external solver.
+package exact
+
+import (
+	"errors"
+	"fmt"
+
+	"spgcmp/internal/core"
+	"spgcmp/internal/mapping"
+	"spgcmp/internal/platform"
+	"spgcmp/internal/spg"
+)
+
+// ErrTooLarge is returned when the instance exceeds the exhaustive-search
+// budget (the paper's ILP hit the same wall beyond 2x2 CMPs).
+var ErrTooLarge = errors.New("exact: instance too large for exhaustive search")
+
+// Solver enumerates every DAG-partition of the SPG (set partitions with an
+// acyclic cluster quotient), every injective placement of the clusters onto
+// cores, and assigns each core its slowest feasible speed; communications
+// follow XY routing. The minimum-energy valid mapping is optimal under those
+// routing and speed rules.
+type Solver struct {
+	// MaxStages bounds the graph size (Bell numbers grow fast).
+	MaxStages int
+	// MaxPlacements bounds the total number of (partition, placement) pairs
+	// explored.
+	MaxPlacements int
+	// General drops the DAG-partition rule and searches over arbitrary
+	// partitions (cyclic cluster quotients allowed), implementing the
+	// paper's future-work comparison between general and DAG-partition
+	// mappings. General solutions assume software-pipelined execution.
+	General bool
+}
+
+// NewSolver returns a solver sized for the paper's exact experiments
+// (n <= 10, 2x2 grids).
+func NewSolver() *Solver {
+	return &Solver{MaxStages: 12, MaxPlacements: 30_000_000}
+}
+
+// Name implements core.Heuristic.
+func (s *Solver) Name() string {
+	if s.General {
+		return "Exact-General"
+	}
+	return "Exact"
+}
+
+// Solve implements core.Heuristic.
+func (s *Solver) Solve(inst core.Instance) (*core.Solution, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	g, pl, T := inst.Graph, inst.Platform, inst.Period
+	n := g.N()
+	if n > s.MaxStages {
+		return nil, fmt.Errorf("%w: %d stages > %d", ErrTooLarge, n, s.MaxStages)
+	}
+
+	var best *core.Solution
+	budget := s.MaxPlacements
+
+	// Enumerate set partitions with restricted growth strings: part[i] is the
+	// cluster of stage i, part[i] <= max(part[0..i-1]) + 1.
+	part := make([]int, n)
+	work := make([]float64, n)    // per-cluster work
+	placeBuf := make([]int, 0, n) // cluster -> core permutation buffer
+	maxCoreWork := T * pl.MaxSpeed()
+
+	var evaluate func(k int)
+	evaluate = func(k int) {
+		if budget <= 0 {
+			return
+		}
+		if k > pl.NumCores() {
+			return
+		}
+		if !s.General && !quotientAcyclic(g, part, k) {
+			return
+		}
+		// Try every injective placement of the k clusters.
+		used := make([]bool, pl.NumCores())
+		placeBuf = placeBuf[:0]
+		var place func(c int)
+		place = func(c int) {
+			if budget <= 0 {
+				return
+			}
+			if c == k {
+				budget--
+				m := buildMapping(g, pl, T, part, placeBuf)
+				if m == nil {
+					return
+				}
+				eval := mapping.Evaluate
+				if s.General {
+					eval = mapping.EvaluateGeneral
+				}
+				res, err := eval(g, pl, m, T)
+				if err != nil {
+					return
+				}
+				if best == nil || res.Energy < best.Result.Energy {
+					best = &core.Solution{Heuristic: s.Name(), Mapping: m, Result: res}
+				}
+				return
+			}
+			for coreIdx := 0; coreIdx < pl.NumCores(); coreIdx++ {
+				if used[coreIdx] {
+					continue
+				}
+				used[coreIdx] = true
+				placeBuf = append(placeBuf, coreIdx)
+				place(c + 1)
+				placeBuf = placeBuf[:len(placeBuf)-1]
+				used[coreIdx] = false
+			}
+		}
+		place(0)
+	}
+
+	var gen func(i, k int)
+	gen = func(i, k int) {
+		if budget <= 0 {
+			return
+		}
+		if i == n {
+			evaluate(k)
+			return
+		}
+		w := g.Stages[i].Weight
+		for c := 0; c <= k && c < pl.NumCores(); c++ {
+			if work[c]+w > maxCoreWork {
+				continue // the cluster could never meet the period
+			}
+			part[i] = c
+			work[c] += w
+			nk := k
+			if c == k {
+				nk = k + 1
+			}
+			gen(i+1, nk)
+			work[c] -= w
+		}
+	}
+	gen(0, 0)
+
+	if budget <= 0 && best == nil {
+		return nil, ErrTooLarge
+	}
+	if best == nil {
+		return nil, core.ErrNoSolution
+	}
+	return best, nil
+}
+
+// quotientAcyclic checks the DAG-partition rule for a candidate partition.
+func quotientAcyclic(g *spg.Graph, part []int, k int) bool {
+	adj := make([][]bool, k)
+	for i := range adj {
+		adj[i] = make([]bool, k)
+	}
+	indeg := make([]int, k)
+	for _, e := range g.Edges {
+		a, b := part[e.Src], part[e.Dst]
+		if a != b && !adj[a][b] {
+			adj[a][b] = true
+			indeg[b]++
+		}
+	}
+	var queue []int
+	for i := 0; i < k; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		seen++
+		for w := 0; w < k; w++ {
+			if adj[v][w] {
+				indeg[w]--
+				if indeg[w] == 0 {
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return seen == k
+}
+
+func buildMapping(g *spg.Graph, pl *platform.Platform, T float64, part, place []int) *mapping.Mapping {
+	m := mapping.New(g.N(), pl)
+	for i := range g.Stages {
+		coreIdx := place[part[i]]
+		m.Alloc[i] = platform.Core{U: coreIdx / pl.Q, V: coreIdx % pl.Q}
+	}
+	if !m.DowngradeSpeeds(g, pl, T) {
+		return nil
+	}
+	return m
+}
+
+var _ core.Heuristic = (*Solver)(nil)

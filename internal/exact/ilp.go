@@ -1,0 +1,387 @@
+package exact
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"spgcmp/internal/core"
+	"spgcmp/internal/spg"
+)
+
+// ILPStats summarizes an emitted program.
+type ILPStats struct {
+	Variables   int
+	Constraints int
+}
+
+// WriteILP emits the integer linear program of Section 4.4 for the instance
+// in CPLEX LP format, suitable for any LP/MIP solver. The program uses the
+// paper's variables:
+//
+//	x_i_k_u_v  — stage i runs on core (u,v) at speed k;
+//	m_k_u_v    — core (u,v) is operated at speed k;
+//	cN/cS/cW/cE_i_j_u_v — the communication of edge (i,j) leaves core (u,v)
+//	             towards its north/south/west/east neighbour.
+//
+// Communication variables are only created for stage pairs that actually
+// share an edge (the paper fixes the others to zero through the l(i,j)
+// constants), and border-exiting directions are omitted. Indices are 1-based
+// as in the paper.
+func WriteILP(w io.Writer, inst core.Instance) (ILPStats, error) {
+	g, pl, T := inst.Graph, inst.Platform, inst.Period
+	if err := inst.Validate(); err != nil {
+		return ILPStats{}, err
+	}
+	bw := bufio.NewWriter(w)
+	var stats ILPStats
+
+	n := g.N()
+	nk := len(pl.Speeds)
+	p, q := pl.P, pl.Q
+
+	// Aggregate parallel edges into per-pair volumes delta(i,j).
+	type pair struct{ i, j int }
+	delta := make(map[pair]float64)
+	var pairs []pair
+	for _, e := range g.Edges {
+		pr := pair{e.Src, e.Dst}
+		if _, ok := delta[pr]; !ok {
+			pairs = append(pairs, pr)
+		}
+		delta[pr] += e.Volume
+	}
+	reach := spg.NewReachability(g)
+
+	xName := func(i, k, u, v int) string { return fmt.Sprintf("x_%d_%d_%d_%d", i+1, k+1, u+1, v+1) }
+	mName := func(k, u, v int) string { return fmt.Sprintf("m_%d_%d_%d", k+1, u+1, v+1) }
+	// dir: 0=N (u-1), 1=S (u+1), 2=W (v-1), 3=E (v+1)
+	dirName := [4]string{"cN", "cS", "cW", "cE"}
+	dirOK := func(d, u, v int) bool {
+		switch d {
+		case 0:
+			return u > 0
+		case 1:
+			return u < p-1
+		case 2:
+			return v > 0
+		default:
+			return v < q-1
+		}
+	}
+	cName := func(d int, pr pair, u, v int) string {
+		return fmt.Sprintf("%s_%d_%d_%d_%d", dirName[d], pr.i+1, pr.j+1, u+1, v+1)
+	}
+	// cPlus writes the sum of the existing direction variables at (u,v).
+	cPlus := func(pr pair, u, v int) string {
+		s := ""
+		for d := 0; d < 4; d++ {
+			if !dirOK(d, u, v) {
+				continue
+			}
+			if s != "" {
+				s += " + "
+			}
+			s += cName(d, pr, u, v)
+		}
+		return s
+	}
+
+	fmt.Fprintf(bw, "\\ MinEnergy(T) ILP (Section 4.4) — n=%d stages, %d speeds, %dx%d CMP, T=%g s\n",
+		n, nk, p, q, T)
+	fmt.Fprintln(bw, "Minimize")
+	fmt.Fprint(bw, " obj:")
+	first := true
+	term := func(coef float64, name string) {
+		if coef == 0 {
+			return
+		}
+		if first {
+			fmt.Fprintf(bw, " %.12g %s", coef, name)
+			first = false
+		} else {
+			fmt.Fprintf(bw, "\n      + %.12g %s", coef, name)
+		}
+	}
+	eStat := pl.LeakPower * T
+	for k := 0; k < nk; k++ {
+		eDyn := pl.DynPower[k] / pl.Speeds[k]
+		for u := 0; u < p; u++ {
+			for v := 0; v < q; v++ {
+				term(eStat, mName(k, u, v))
+				for i := 0; i < n; i++ {
+					term(g.Stages[i].Weight*eDyn, xName(i, k, u, v))
+				}
+			}
+		}
+	}
+	for _, pr := range pairs {
+		for u := 0; u < p; u++ {
+			for v := 0; v < q; v++ {
+				for d := 0; d < 4; d++ {
+					if dirOK(d, u, v) {
+						term(delta[pr]*pl.EnergyPerGB, cName(d, pr, u, v))
+					}
+				}
+			}
+		}
+	}
+	fmt.Fprintln(bw)
+
+	fmt.Fprintln(bw, "Subject To")
+	cid := 0
+	emit := func(format string, args ...interface{}) {
+		cid++
+		stats.Constraints++
+		fmt.Fprintf(bw, " c%d: ", cid)
+		fmt.Fprintf(bw, format, args...)
+		fmt.Fprintln(bw)
+	}
+
+	// Allocation: each stage on exactly one (core, speed).
+	for i := 0; i < n; i++ {
+		s := ""
+		for k := 0; k < nk; k++ {
+			for u := 0; u < p; u++ {
+				for v := 0; v < q; v++ {
+					if s != "" {
+						s += " + "
+					}
+					s += xName(i, k, u, v)
+				}
+			}
+		}
+		emit("%s = 1", s)
+	}
+	// Speed selection: a hosted stage forces the core's speed...
+	for k := 0; k < nk; k++ {
+		for u := 0; u < p; u++ {
+			for v := 0; v < q; v++ {
+				for i := 0; i < n; i++ {
+					emit("%s - %s >= 0", mName(k, u, v), xName(i, k, u, v))
+				}
+			}
+		}
+	}
+	// ... and each core runs at no more than one speed.
+	for u := 0; u < p; u++ {
+		for v := 0; v < q; v++ {
+			s := ""
+			for k := 0; k < nk; k++ {
+				if s != "" {
+					s += " + "
+				}
+				s += mName(k, u, v)
+			}
+			emit("%s <= 1", s)
+		}
+	}
+
+	// Communication constraints per edge pair.
+	for _, pr := range pairs {
+		for u := 0; u < p; u++ {
+			for v := 0; v < q; v++ {
+				cp := cPlus(pr, u, v)
+				if cp == "" {
+					continue // 1x1 grid: no directions exist
+				}
+				// At most one outgoing direction per core for this edge.
+				emit("%s <= 1", cp)
+				// Co-located endpoints suppress the communication.
+				for k := 0; k < nk; k++ {
+					emit("%s + %s + %s <= 2", xName(pr.i, k, u, v), xName(pr.j, k, u, v), cp)
+				}
+				// Source core initiates the communication when the
+				// destination lives elsewhere.
+				for k := 0; k < nk; k++ {
+					rhs := ""
+					for kp := 0; kp < nk; kp++ {
+						for up := 0; up < p; up++ {
+							for vp := 0; vp < q; vp++ {
+								if up == u && vp == v {
+									continue
+								}
+								rhs += " - " + xName(pr.j, kp, up, vp)
+							}
+						}
+					}
+					emit("%s - %s%s >= -1", cp, xName(pr.i, k, u, v), rhs)
+				}
+			}
+		}
+	}
+
+	// Forwarding and stopping conditions.
+	type dxy struct{ du, dv int }
+	deltaDir := [4]dxy{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
+	for _, pr := range pairs {
+		for u := 0; u < p; u++ {
+			for v := 0; v < q; v++ {
+				for d := 0; d < 4; d++ {
+					if !dirOK(d, u, v) {
+						continue
+					}
+					nu, nv := u+deltaDir[d].du, v+deltaDir[d].dv
+					cp := cPlus(pr, nu, nv)
+					xsum := ""
+					for k := 0; k < nk; k++ {
+						if xsum != "" {
+							xsum += " + "
+						}
+						xsum += xName(pr.j, k, nu, nv)
+					}
+					if cp == "" {
+						cp = "0 " + xsum // degenerate; never happens on >=2x2
+					}
+					// c_dir <= c+_next + x_j_next  and  c+_next + x_j_next <= 2 - c_dir
+					emit("%s + %s - %s >= 0", cp, xsum, cName(d, pr, u, v))
+					emit("%s + %s + %s <= 2", cp, xsum, cName(d, pr, u, v))
+				}
+			}
+		}
+	}
+
+	// Cycle prevention: incoming communications at a core are bounded by the
+	// indicator that the destination is not yet reached... the paper bounds
+	// the incoming degree by whether Si is mapped here (the communication may
+	// only "appear" at its source). We emit the unified form: for every core,
+	// sum of incoming directions <= sum_k x_i_k_u_v + ... conservative paper
+	// version: incoming <= x_i at interior plus boundary variants.
+	for _, pr := range pairs {
+		for u := 0; u < p; u++ {
+			for v := 0; v < q; v++ {
+				inc := ""
+				add := func(s string) {
+					if inc != "" {
+						inc += " + "
+					}
+					inc += s
+				}
+				if u+1 < p {
+					add(cName(0, pr, u+1, v)) // from south neighbour moving north
+				}
+				if u-1 >= 0 {
+					add(cName(1, pr, u-1, v)) // from north neighbour moving south
+				}
+				if v+1 < q {
+					add(cName(2, pr, u, v+1)) // from east neighbour moving west
+				}
+				if v-1 >= 0 {
+					add(cName(3, pr, u, v-1)) // from west neighbour moving east
+				}
+				if inc == "" {
+					continue
+				}
+				xsum := ""
+				for k := 0; k < nk; k++ {
+					xsum += " + " + xName(pr.i, k, u, v)
+				}
+				emit("%s -%s <= 1", inc, xsum)
+			}
+		}
+	}
+
+	// DAG-partition rule: if Si and Sj share a core and Si -> Si' -> Sj, then
+	// Si' shares it too.
+	for i := 0; i < n; i++ {
+		for ip := 0; ip < n; ip++ {
+			if ip == i || !reach.Reaches(i, ip) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if j == i || j == ip || !reach.Reaches(ip, j) {
+					continue
+				}
+				for k := 0; k < nk; k++ {
+					for u := 0; u < p; u++ {
+						for v := 0; v < q; v++ {
+							emit("%s - %s - %s >= -1",
+								xName(ip, k, u, v), xName(i, k, u, v), xName(j, k, u, v))
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Period constraints: computations...
+	for u := 0; u < p; u++ {
+		for v := 0; v < q; v++ {
+			for k := 0; k < nk; k++ {
+				s := ""
+				for i := 0; i < n; i++ {
+					if g.Stages[i].Weight == 0 {
+						continue
+					}
+					if s != "" {
+						s += " + "
+					}
+					s += fmt.Sprintf("%.12g %s", g.Stages[i].Weight, xName(i, k, u, v))
+				}
+				if s == "" {
+					continue
+				}
+				emit("%s - %.12g %s <= 0", s, T*pl.Speeds[k], mName(k, u, v))
+			}
+		}
+	}
+	// ... and link bandwidth per direction.
+	for u := 0; u < p; u++ {
+		for v := 0; v < q; v++ {
+			for d := 0; d < 4; d++ {
+				if !dirOK(d, u, v) {
+					continue
+				}
+				s := ""
+				for _, pr := range pairs {
+					if delta[pr] == 0 {
+						continue
+					}
+					if s != "" {
+						s += " + "
+					}
+					s += fmt.Sprintf("%.12g %s", delta[pr], cName(d, pr, u, v))
+				}
+				if s == "" {
+					continue
+				}
+				emit("%s <= %.12g", s, T*pl.BW)
+			}
+		}
+	}
+
+	// Binary variable declarations.
+	fmt.Fprintln(bw, "Binary")
+	for i := 0; i < n; i++ {
+		for k := 0; k < nk; k++ {
+			for u := 0; u < p; u++ {
+				for v := 0; v < q; v++ {
+					fmt.Fprintf(bw, " %s\n", xName(i, k, u, v))
+					stats.Variables++
+				}
+			}
+		}
+	}
+	for k := 0; k < nk; k++ {
+		for u := 0; u < p; u++ {
+			for v := 0; v < q; v++ {
+				fmt.Fprintf(bw, " %s\n", mName(k, u, v))
+				stats.Variables++
+			}
+		}
+	}
+	for _, pr := range pairs {
+		for u := 0; u < p; u++ {
+			for v := 0; v < q; v++ {
+				for d := 0; d < 4; d++ {
+					if dirOK(d, u, v) {
+						fmt.Fprintf(bw, " %s\n", cName(d, pr, u, v))
+						stats.Variables++
+					}
+				}
+			}
+		}
+	}
+	fmt.Fprintln(bw, "End")
+	return stats, bw.Flush()
+}

@@ -1,0 +1,157 @@
+// Package experiments reproduces the evaluation of Section 6: the period
+// bound selection protocol, the StreamIt campaigns (Figures 8-9, Table 2) and
+// the random-SPG campaigns (Figures 10-13, Table 3). Results are plain data
+// structures; render.go turns them into text tables and CSV.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"spgcmp/internal/core"
+	"spgcmp/internal/platform"
+	"spgcmp/internal/spg"
+)
+
+// HeuristicNames lists the five heuristics in the paper's presentation order.
+var HeuristicNames = []string{"Random", "Greedy", "DPA2D", "DPA1D", "DPA2D1D"}
+
+// Heuristics returns the heuristic set used by the experiment campaigns.
+// DPA1D gets a reduced state budget compared to the library default so that
+// large-elevation instances fail fast, mirroring the tractability wall
+// reported in Section 6.2 instead of burning hours on doomed enumerations.
+func Heuristics(seed int64) []core.Heuristic {
+	return []core.Heuristic{
+		core.NewRandom(seed),
+		core.NewGreedy(),
+		core.NewDPA2D(),
+		&core.DPA1D{MaxStates: 60_000, MaxTransitions: 24_000_000},
+		core.NewDPA2D1D(),
+	}
+}
+
+// Outcome records one heuristic run on one instance.
+type Outcome struct {
+	Heuristic string
+	OK        bool
+	Energy    float64
+	// ActiveCores is reported for successful runs (used by the analysis of
+	// DPA2D's behaviour on pipelines).
+	ActiveCores int
+}
+
+// InstanceResult is the evaluation of all heuristics on one workload at the
+// period selected by the Section 6.1.3 protocol.
+type InstanceResult struct {
+	Period   float64
+	Outcomes []Outcome
+}
+
+// BestEnergy returns the minimum energy over successful heuristics, or +Inf.
+func (ir InstanceResult) BestEnergy() float64 {
+	best := math.Inf(1)
+	for _, o := range ir.Outcomes {
+		if o.OK && o.Energy < best {
+			best = o.Energy
+		}
+	}
+	return best
+}
+
+// runAll executes every heuristic on the instance.
+func runAll(g *spg.Graph, pl *platform.Platform, T float64, seed int64) []Outcome {
+	hs := Heuristics(seed)
+	out := make([]Outcome, len(hs))
+	for i, h := range hs {
+		out[i].Heuristic = h.Name()
+		sol, err := h.Solve(core.Instance{Graph: g, Platform: pl, Period: T})
+		if err != nil {
+			continue
+		}
+		out[i].OK = true
+		out[i].Energy = sol.Energy()
+		out[i].ActiveCores = sol.Result.ActiveCores
+	}
+	return out
+}
+
+func anyOK(outcomes []Outcome) bool {
+	for _, o := range outcomes {
+		if o.OK {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectPeriod implements the protocol of Section 6.1.3: start at T = 1 s,
+// iteratively divide the period by 10 while at least one heuristic still
+// succeeds, and retain the last period before total failure, together with
+// the heuristic outcomes at that period. ok is false when every heuristic
+// already fails at 1 s.
+func SelectPeriod(g *spg.Graph, pl *platform.Platform, seed int64) (InstanceResult, bool) {
+	const maxDivisions = 9
+	T := 1.0
+	outcomes := runAll(g, pl, T, seed)
+	if !anyOK(outcomes) {
+		return InstanceResult{Period: T, Outcomes: outcomes}, false
+	}
+	for i := 0; i < maxDivisions; i++ {
+		nextT := T / 10
+		next := runAll(g, pl, nextT, seed)
+		if !anyOK(next) {
+			break
+		}
+		T, outcomes = nextT, next
+	}
+	return InstanceResult{Period: T, Outcomes: outcomes}, true
+}
+
+// parallelFor runs fn(i) for i in [0, n) on all available cores.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// ccrLabel names a CCR variant column ("orig", "10", "1", "0.1").
+func ccrLabel(v float64, orig bool) string {
+	if orig {
+		return "orig"
+	}
+	switch v {
+	case 10:
+		return "10"
+	case 1:
+		return "1"
+	case 0.1:
+		return "0.1"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

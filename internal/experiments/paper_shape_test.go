@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"spgcmp/internal/platform"
+	"spgcmp/internal/streamit"
+)
+
+// TestPaperShapeStreamIt4x4 runs the full Figure 8 campaign (12 apps, 4 CCR
+// variants, 4x4 grid) and asserts the qualitative observations of
+// Section 6.2.1. The workloads and the Random seed are deterministic, so the
+// assertions are stable.
+func TestPaperShapeStreamIt4x4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign; skipped with -short")
+	}
+	res, err := RunStreamIt(4, 4, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range res.Cells {
+		norm := c.NormalizedEnergy()
+		outcomes := make(map[string]bool)
+		for _, o := range c.Result.Outcomes {
+			outcomes[o.Heuristic] = o.OK
+		}
+
+		// Paper: DPA1D fails on the high-elevation applications ("too many
+		// possible splits to explore" for apps 1-4; our budgeted variant
+		// fails from elevation 12 up).
+		if c.App.YMax >= 12 && outcomes["DPA1D"] {
+			t.Errorf("%s/%s: DPA1D unexpectedly tractable at elevation %d",
+				c.App.Name, c.CCRLabel, c.App.YMax)
+		}
+		// Paper: DPA2D is the best heuristic on fat graphs of large
+		// elevation (it should stay close to the winner everywhere).
+		if c.App.YMax >= 12 {
+			if v, ok := norm["DPA2D"]; ok && v > 1.15 {
+				t.Errorf("%s/%s: DPA2D normalized %.3f on a fat graph, expected near 1",
+					c.App.Name, c.CCRLabel, v)
+			}
+		}
+		// Paper: DPA1D is optimal for linear chains, so no heuristic may
+		// beat it on the three pipeline apps (DCT, FFT, TDE).
+		if c.App.YMax == 1 && outcomes["DPA1D"] {
+			if v := norm["DPA1D"]; math.Abs(v-1) > 1e-9 {
+				t.Errorf("%s/%s: DPA1D normalized %.6f on a chain, want 1.0",
+					c.App.Name, c.CCRLabel, v)
+			}
+		}
+		// Random is never meaningfully better than the specialists.
+		if v, ok := norm["Random"]; ok && v < 1-1e-9 {
+			t.Errorf("%s/%s: Random normalized %.3f < 1", c.App.Name, c.CCRLabel, v)
+		}
+	}
+
+	// Paper: DPA2D wins the majority of the fat-graph instances it solves.
+	fatWins, fatCells := 0, 0
+	for _, c := range res.Cells {
+		if c.App.YMax < 12 {
+			continue
+		}
+		if v, ok := c.NormalizedEnergy()["DPA2D"]; ok {
+			fatCells++
+			if v < 1+1e-9 {
+				fatWins++
+			}
+		}
+	}
+	if fatCells > 0 && fatWins*2 < fatCells {
+		t.Errorf("DPA2D wins only %d of %d fat-graph instances", fatWins, fatCells)
+	}
+
+	// Aggregate shapes: Random is clearly dominated on average; Greedy is
+	// robust (few failures).
+	var randSum float64
+	var randCount int
+	failures := res.FailureCounts()
+	for _, c := range res.Cells {
+		if v, ok := c.NormalizedEnergy()["Random"]; ok {
+			randSum += v
+			randCount++
+		}
+	}
+	if randCount > 0 && randSum/float64(randCount) < 1.1 {
+		t.Errorf("Random mean normalized energy %.3f, expected clearly above 1.1",
+			randSum/float64(randCount))
+	}
+	if failures["Greedy"] > len(res.Cells)/3 {
+		t.Errorf("Greedy failed %d/%d instances, expected robustness", failures["Greedy"], len(res.Cells))
+	}
+	// The paper's Table 2 shows every heuristic failing somewhere on 4x4.
+	total := 0
+	for _, v := range failures {
+		total += v
+	}
+	if total == 0 {
+		t.Error("no failures at all on 4x4, Table 2 shape not reproduced")
+	}
+}
+
+// TestPaperShape6x6FailsLess: Table 2's second shape — "because the target
+// grid is larger, it is easier to find a mapping that matches the period
+// bound". The claim is about a fixed period: the full campaign re-selects
+// the period per platform (the larger grid supports tighter bounds), so this
+// test compares the two grids at the period selected on 4x4.
+func TestPaperShape6x6FailsLess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign; skipped with -short")
+	}
+	r4, err := RunStreamIt(4, 4, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4 := r4.FailureCounts()
+	f6 := make(map[string]int)
+	pl6 := platform.XScale(6, 6)
+	for i, c := range r4.Cells {
+		g, err := c.App.GraphWithCCR(ccrValue(c.App, c.CCRLabel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range runAll(g, pl6, c.Result.Period, 1+int64(i)) {
+			if !o.OK {
+				f6[o.Heuristic]++
+			}
+		}
+	}
+	// At matched periods the bigger grid can only help the robust
+	// heuristics.
+	for _, name := range []string{"Random", "Greedy", "DPA2D1D"} {
+		if f6[name] > f4[name] {
+			t.Errorf("%s: failures rose from %d (4x4) to %d (6x6) at matched periods",
+				name, f4[name], f6[name])
+		}
+	}
+}
+
+func ccrValue(app streamit.App, label string) float64 {
+	switch label {
+	case "orig":
+		return app.CCR
+	case "10":
+		return 10
+	case "1":
+		return 1
+	default:
+		return 0.1
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spgcmp/internal/platform"
+	"spgcmp/internal/randspg"
+)
+
+// RandomConfig parameterizes a random-SPG campaign (one panel of
+// Figures 10-13 plus its failure statistics).
+type RandomConfig struct {
+	N             int     // stages per graph: 50 or 150 in the paper
+	P, Q          int     // CMP size: 4x4 or 6x6
+	CCR           float64 // 10, 1 or 0.1
+	MinElevation  int     // first elevation on the x axis (default 1)
+	MaxElevation  int     // last elevation: 20 (n=50) or 30 (n=150)
+	GraphsPerElev int     // 100 in the paper
+	Seed          int64
+}
+
+func (c RandomConfig) withDefaults() RandomConfig {
+	if c.MinElevation == 0 {
+		c.MinElevation = 1
+	}
+	if c.GraphsPerElev == 0 {
+		c.GraphsPerElev = 100
+	}
+	return c
+}
+
+// RandomPoint aggregates one elevation value: the mean normalized inverse
+// energy per heuristic (the y axis of Figures 10-13; failures contribute 0,
+// so heuristics that stop finding solutions sink towards 0 as in the paper's
+// plots) and the failure counts.
+type RandomPoint struct {
+	Elevation   int
+	Graphs      int
+	MeanInvNorm map[string]float64
+	Failures    map[string]int
+}
+
+// RandomResult is a full campaign.
+type RandomResult struct {
+	Config RandomConfig
+	Points []RandomPoint
+}
+
+// RunRandom reproduces one panel of Figures 10-13: for each elevation it
+// generates GraphsPerElev random SPGs, selects the period per instance, and
+// averages the normalized inverse energies.
+func RunRandom(cfg RandomConfig) (*RandomResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxElevation < cfg.MinElevation {
+		return nil, fmt.Errorf("experiments: bad elevation range [%d, %d]", cfg.MinElevation, cfg.MaxElevation)
+	}
+	type task struct {
+		elev  int
+		graph int
+	}
+	var tasks []task
+	for e := cfg.MinElevation; e <= cfg.MaxElevation; e++ {
+		for k := 0; k < cfg.GraphsPerElev; k++ {
+			tasks = append(tasks, task{e, k})
+		}
+	}
+	type cell struct {
+		invNorm  map[string]float64
+		failures map[string]int
+	}
+	cells := make([]cell, len(tasks))
+	errs := make([]error, len(tasks))
+
+	parallelFor(len(tasks), func(i int) {
+		tk := tasks[i]
+		seed := cfg.Seed + int64(tk.elev)*1_000_003 + int64(tk.graph)*7919
+		g, err := randspg.Generate(randspg.Params{
+			N:         cfg.N,
+			Elevation: tk.elev,
+			Seed:      seed,
+			CCR:       cfg.CCR,
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		pl := platform.XScale(cfg.P, cfg.Q)
+		ir, _ := SelectPeriod(g, pl, seed)
+		c := cell{invNorm: make(map[string]float64), failures: make(map[string]int)}
+		best := ir.BestEnergy()
+		for _, o := range ir.Outcomes {
+			if !o.OK {
+				c.failures[o.Heuristic]++
+				c.invNorm[o.Heuristic] += 0
+				continue
+			}
+			// best/energy = normalized inverse energy in (0, 1].
+			c.invNorm[o.Heuristic] += best / o.Energy
+		}
+		cells[i] = c
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &RandomResult{Config: cfg}
+	for e := cfg.MinElevation; e <= cfg.MaxElevation; e++ {
+		pt := RandomPoint{
+			Elevation:   e,
+			Graphs:      cfg.GraphsPerElev,
+			MeanInvNorm: make(map[string]float64),
+			Failures:    make(map[string]int),
+		}
+		for _, name := range HeuristicNames {
+			pt.MeanInvNorm[name] = 0
+			pt.Failures[name] = 0
+		}
+		res.Points = append(res.Points, pt)
+	}
+	for i, tk := range tasks {
+		pt := &res.Points[tk.elev-cfg.MinElevation]
+		for name, v := range cells[i].invNorm {
+			pt.MeanInvNorm[name] += v
+		}
+		for name, v := range cells[i].failures {
+			pt.Failures[name] += v
+		}
+	}
+	for pi := range res.Points {
+		for name := range res.Points[pi].MeanInvNorm {
+			res.Points[pi].MeanInvNorm[name] /= float64(cfg.GraphsPerElev)
+		}
+	}
+	return res, nil
+}
+
+// TotalFailures sums failures across all elevations — the rows of Table 3
+// (the paper counts 2000 instances per CCR: 20 elevations x 100 graphs).
+func (r *RandomResult) TotalFailures() map[string]int {
+	total := make(map[string]int, len(HeuristicNames))
+	for _, name := range HeuristicNames {
+		total[name] = 0
+	}
+	for _, pt := range r.Points {
+		for name, v := range pt.Failures {
+			total[name] += v
+		}
+	}
+	return total
+}
+
+// Instances returns the number of instances in the campaign.
+func (r *RandomResult) Instances() int {
+	return len(r.Points) * r.Config.GraphsPerElev
+}

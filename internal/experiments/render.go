@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"spgcmp/internal/streamit"
+)
+
+// RenderTable formats rows as a fixed-width text table.
+func RenderTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// RenderTable1 reproduces Table 1 of the paper.
+func RenderTable1() string {
+	rows := make([][]string, 0, 12)
+	for _, a := range streamit.Suite() {
+		rows = append(rows, []string{
+			fmt.Sprint(a.Index), a.Name, fmt.Sprint(a.N),
+			fmt.Sprint(a.YMax), fmt.Sprint(a.XMax), fmt.Sprintf("%.0f", a.CCR),
+		})
+	}
+	return "Table 1: Characteristics of the StreamIt workflows\n" +
+		RenderTable([]string{"Index", "Name", "n", "ymax", "xmax", "CCR"}, rows)
+}
+
+// RenderStreamIt renders one campaign as the four panels of Figure 8/9:
+// normalized energy per application and heuristic ("-" marks a failure).
+func RenderStreamIt(r *StreamItResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure panel data: normalized energy on the StreamIt suite, %dx%d CMP grid\n", r.P, r.Q)
+	fmt.Fprintf(&b, "(per instance, energy / best heuristic energy; '-' = heuristic failed)\n\n")
+	for _, label := range CCRLabels() {
+		cells := r.CellsFor(label)
+		if len(cells) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "CCR = %s\n", label)
+		headers := append([]string{"App", "T (s)"}, HeuristicNames...)
+		var rows [][]string
+		for _, c := range cells {
+			norm := c.NormalizedEnergy()
+			row := []string{
+				fmt.Sprintf("%d:%s", c.App.Index, c.App.Name),
+				fmt.Sprintf("%.0e", c.Result.Period),
+			}
+			for _, name := range HeuristicNames {
+				if v, ok := norm[name]; ok {
+					row = append(row, fmt.Sprintf("%.3f", v))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			rows = append(rows, row)
+		}
+		b.WriteString(RenderTable(headers, rows))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFailureTable renders Table 2 rows for a set of StreamIt campaigns.
+func RenderFailureTable(results []*StreamItResult) string {
+	headers := append([]string{"Platform size"}, HeuristicNames...)
+	var rows [][]string
+	for _, r := range results {
+		counts := r.FailureCounts()
+		row := []string{fmt.Sprintf("%dx%d", r.P, r.Q)}
+		for _, name := range HeuristicNames {
+			row = append(row, fmt.Sprint(counts[name]))
+		}
+		rows = append(rows, row)
+	}
+	return fmt.Sprintf("Table 2: Number of failures for each heuristic (out of %d instances per CMP grid size)\n",
+		len(results[0].Cells)) + RenderTable(headers, rows)
+}
+
+// RenderRandom renders one random-SPG campaign: the mean normalized inverse
+// energy per elevation (one panel of Figures 10-13) as a table plus an ASCII
+// chart per heuristic.
+func RenderRandom(r *RandomResult) string {
+	var b strings.Builder
+	cfg := r.Config
+	fmt.Fprintf(&b, "Normalized energy inverse vs elevation: %d-node random SPGs, %dx%d CMP, CCR=%g (%d graphs per point)\n\n",
+		cfg.N, cfg.P, cfg.Q, cfg.CCR, cfg.GraphsPerElev)
+	headers := append([]string{"elev"}, HeuristicNames...)
+	var rows [][]string
+	for _, pt := range r.Points {
+		row := []string{fmt.Sprint(pt.Elevation)}
+		for _, name := range HeuristicNames {
+			row = append(row, fmt.Sprintf("%.3f", pt.MeanInvNorm[name]))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(RenderTable(headers, rows))
+	b.WriteByte('\n')
+	series := make(map[string][]float64)
+	for _, name := range HeuristicNames {
+		vals := make([]float64, len(r.Points))
+		for i, pt := range r.Points {
+			vals[i] = pt.MeanInvNorm[name]
+		}
+		series[name] = vals
+	}
+	b.WriteString(RenderChart("1/E (normalized, 1.0 = best)", series, 12))
+	return b.String()
+}
+
+// RenderRandomFailures renders Table 3 for a set of campaigns sharing N and
+// platform but differing in CCR.
+func RenderRandomFailures(results []*RandomResult) string {
+	headers := append([]string{"CCR"}, HeuristicNames...)
+	var rows [][]string
+	for _, r := range results {
+		counts := r.TotalFailures()
+		row := []string{fmt.Sprintf("%g", r.Config.CCR)}
+		for _, name := range HeuristicNames {
+			row = append(row, fmt.Sprint(counts[name]))
+		}
+		rows = append(rows, row)
+	}
+	return fmt.Sprintf("Table 3: Number of failures (out of %d instances per CCR value)\n", results[0].Instances()) +
+		RenderTable(headers, rows)
+}
+
+// RenderChart draws each series as a height-banded ASCII plot over the
+// common x axis (one column per point).
+func RenderChart(title string, series map[string][]float64, height int) string {
+	if height < 2 {
+		height = 2
+	}
+	names := make([]string, 0, len(series))
+	maxLen := 0
+	maxVal := 0.0
+	for name, vals := range series {
+		names = append(names, name)
+		if len(vals) > maxLen {
+			maxLen = len(vals)
+		}
+		for _, v := range vals {
+			if !math.IsNaN(v) && v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	sort.Strings(names)
+	if maxLen == 0 || maxVal == 0 {
+		return title + ": (no data)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, name := range names {
+		vals := series[name]
+		fmt.Fprintf(&b, "%-9s |", name)
+		for _, v := range vals {
+			lvl := int(math.Round(v / maxVal * float64(height)))
+			switch {
+			case math.IsNaN(v):
+				b.WriteByte(' ')
+			case lvl <= 0:
+				b.WriteByte('_')
+			default:
+				b.WriteByte("123456789abcdefghijklmnop"[minInt(lvl, height)-1])
+			}
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%-9s  %s\n", "", "(columns: successive x values; digit = height band, _ = zero)")
+	return b.String()
+}
+
+// CSVStreamIt renders a campaign as CSV (app, ccr, period, heuristic,
+// energy, normalized, active cores, ok).
+func CSVStreamIt(r *StreamItResult) string {
+	var b strings.Builder
+	b.WriteString("grid,app_index,app,ccr,period_s,heuristic,ok,energy_j,normalized,active_cores\n")
+	for _, c := range r.Cells {
+		norm := c.NormalizedEnergy()
+		for _, o := range c.Result.Outcomes {
+			n, okN := norm[o.Heuristic]
+			normStr := ""
+			if okN {
+				normStr = fmt.Sprintf("%.6f", n)
+			}
+			energyStr := ""
+			if o.OK {
+				energyStr = fmt.Sprintf("%.9g", o.Energy)
+			}
+			fmt.Fprintf(&b, "%dx%d,%d,%s,%s,%g,%s,%t,%s,%s,%d\n",
+				r.P, r.Q, c.App.Index, c.App.Name, c.CCRLabel, c.Result.Period,
+				o.Heuristic, o.OK, energyStr, normStr, o.ActiveCores)
+		}
+	}
+	return b.String()
+}
+
+// CSVRandom renders a random campaign as CSV (elevation, heuristic,
+// mean normalized 1/E, failures).
+func CSVRandom(r *RandomResult) string {
+	var b strings.Builder
+	b.WriteString("n,grid,ccr,elevation,heuristic,mean_inv_norm,failures,graphs\n")
+	for _, pt := range r.Points {
+		for _, name := range HeuristicNames {
+			fmt.Fprintf(&b, "%d,%dx%d,%g,%d,%s,%.6f,%d,%d\n",
+				r.Config.N, r.Config.P, r.Config.Q, r.Config.CCR,
+				pt.Elevation, name, pt.MeanInvNorm[name], pt.Failures[name], pt.Graphs)
+		}
+	}
+	return b.String()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"spgcmp/internal/platform"
+	"spgcmp/internal/streamit"
+)
+
+// StreamItCell is one (application, CCR variant) point of Figures 8-9: the
+// heuristic outcomes at the selected period.
+type StreamItCell struct {
+	App      streamit.App
+	CCRLabel string
+	Result   InstanceResult
+}
+
+// NormalizedEnergy returns, per heuristic, energy divided by the best energy
+// on this cell (1 for the winner); failed heuristics are absent.
+func (c StreamItCell) NormalizedEnergy() map[string]float64 {
+	best := c.Result.BestEnergy()
+	norm := make(map[string]float64)
+	if math.IsInf(best, 1) {
+		return norm
+	}
+	for _, o := range c.Result.Outcomes {
+		if o.OK {
+			norm[o.Heuristic] = o.Energy / best
+		}
+	}
+	return norm
+}
+
+// StreamItResult is a full campaign on one CMP size: 12 applications times 4
+// CCR variants (original, 10, 1, 0.1), 48 instances as in Table 2.
+type StreamItResult struct {
+	P, Q  int
+	Cells []StreamItCell
+}
+
+// RunStreamIt reproduces the Figure 8 (4x4) or Figure 9 (6x6) campaign.
+// Apps can restrict the applications (nil = full suite). seed drives the
+// Random heuristic.
+func RunStreamIt(p, q int, apps []streamit.App, seed int64) (*StreamItResult, error) {
+	if apps == nil {
+		apps = streamit.Suite()
+	}
+	type variant struct {
+		app   streamit.App
+		label string
+		ccr   float64
+	}
+	var variants []variant
+	for _, a := range apps {
+		variants = append(variants,
+			variant{a, "orig", a.CCR},
+			variant{a, "10", 10},
+			variant{a, "1", 1},
+			variant{a, "0.1", 0.1},
+		)
+	}
+	res := &StreamItResult{P: p, Q: q, Cells: make([]StreamItCell, len(variants))}
+	errs := make([]error, len(variants))
+	parallelFor(len(variants), func(i int) {
+		v := variants[i]
+		g, err := v.app.GraphWithCCR(v.ccr)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		pl := platform.XScale(p, q)
+		ir, _ := SelectPeriod(g, pl, seed+int64(i))
+		res.Cells[i] = StreamItCell{App: v.app, CCRLabel: v.label, Result: ir}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// FailureCounts returns, per heuristic, the number of instances (out of
+// len(Cells)) where the heuristic found no valid mapping — the rows of
+// Table 2.
+func (r *StreamItResult) FailureCounts() map[string]int {
+	counts := make(map[string]int, len(HeuristicNames))
+	for _, name := range HeuristicNames {
+		counts[name] = 0
+	}
+	for _, c := range r.Cells {
+		for _, o := range c.Result.Outcomes {
+			if !o.OK {
+				counts[o.Heuristic]++
+			}
+		}
+	}
+	return counts
+}
+
+// CellsFor returns the cells of one CCR variant in application order,
+// matching one panel of Figure 8/9.
+func (r *StreamItResult) CellsFor(ccrLabel string) []StreamItCell {
+	var out []StreamItCell
+	for _, c := range r.Cells {
+		if c.CCRLabel == ccrLabel {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CCRLabels lists the four panels in paper order.
+func CCRLabels() []string { return []string{"orig", "10", "1", "0.1"} }
+
+// String summarizes the campaign.
+func (r *StreamItResult) String() string {
+	return fmt.Sprintf("StreamIt campaign on %dx%d: %d cells", r.P, r.Q, len(r.Cells))
+}

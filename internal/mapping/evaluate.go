@@ -1,0 +1,202 @@
+package mapping
+
+import (
+	"errors"
+	"fmt"
+
+	"spgcmp/internal/platform"
+	"spgcmp/internal/spg"
+)
+
+// Tolerance for floating-point feasibility comparisons: a resource cycle-time
+// may exceed the period by at most this relative amount.
+const relTol = 1e-9
+
+// Result reports the evaluation of a valid mapping.
+type Result struct {
+	// Energy is the total energy per period: E(comp) + E(comm).
+	Energy float64
+	// CompLeakEnergy is |A| * P_leak^(comp) * T.
+	CompLeakEnergy float64
+	// CompDynEnergy is sum over cores of (w/s) * P_dyn(s).
+	CompDynEnergy float64
+	// CommLeakEnergy is P_leak^(comm) * T.
+	CommLeakEnergy float64
+	// CommDynEnergy is sum over links of load * E(bit).
+	CommDynEnergy float64
+
+	// MaxCycleTime is the maximum resource cycle-time (seconds); it never
+	// exceeds the period for a valid mapping.
+	MaxCycleTime float64
+	// ActiveCores is |A|, the number of cores hosting at least one stage.
+	ActiveCores int
+	// UsedLinks is the number of directed links carrying traffic.
+	UsedLinks int
+	// LinkLoads maps each loaded directed link to its volume per period (GB).
+	LinkLoads map[platform.Link]float64
+	// CoreTimes maps each active core to its computation cycle-time (s).
+	CoreTimes map[platform.Core]float64
+}
+
+// Evaluate validates m against the DAG-partition mapping rules and the period
+// bound T, and computes its energy. It returns an error describing the first
+// violation when the mapping is invalid.
+func Evaluate(g *spg.Graph, pl *platform.Platform, m *Mapping, T float64) (*Result, error) {
+	return evaluate(g, pl, m, T, true)
+}
+
+// EvaluateGeneral is Evaluate without the DAG-partition (quotient
+// acyclicity) requirement. It supports the paper's future-work direction of
+// assessing general mappings: the per-resource cycle-time bound still
+// characterizes the achievable steady-state period, but a cyclic cluster
+// quotient requires software pipelining across data sets (each core buffers
+// results between iterations) instead of the simple cluster-at-a-time
+// schedule that acyclic quotients allow.
+func EvaluateGeneral(g *spg.Graph, pl *platform.Platform, m *Mapping, T float64) (*Result, error) {
+	return evaluate(g, pl, m, T, false)
+}
+
+func evaluate(g *spg.Graph, pl *platform.Platform, m *Mapping, T float64, requireAcyclic bool) (*Result, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	if T <= 0 {
+		return nil, errors.New("mapping: period must be positive")
+	}
+	if len(m.Alloc) != g.N() {
+		return nil, fmt.Errorf("mapping: %d allocations for %d stages", len(m.Alloc), g.N())
+	}
+	if len(m.SpeedIdx) != pl.NumCores() {
+		return nil, fmt.Errorf("mapping: %d speed entries for %d cores", len(m.SpeedIdx), pl.NumCores())
+	}
+	for i, c := range m.Alloc {
+		if !pl.InBounds(c) {
+			return nil, fmt.Errorf("mapping: stage %d mapped outside the grid: %v", i, c)
+		}
+	}
+	if requireAcyclic {
+		if err := checkDAGPartition(g, pl, m); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		LinkLoads: make(map[platform.Link]float64),
+		CoreTimes: make(map[platform.Core]float64),
+	}
+
+	// Computation cycle-times and energy.
+	work := m.CoreWork(g)
+	for c, w := range work {
+		idx := m.SpeedOf(pl, c)
+		if idx < 0 || idx >= len(pl.Speeds) {
+			return nil, fmt.Errorf("mapping: core %v hosts stages but has speed index %d", c, idx)
+		}
+		ct := w / pl.Speeds[idx]
+		if ct > T*(1+relTol) {
+			return nil, fmt.Errorf("mapping: core %v cycle-time %.6g exceeds period %.6g", c, ct, T)
+		}
+		res.CoreTimes[c] = ct
+		if ct > res.MaxCycleTime {
+			res.MaxCycleTime = ct
+		}
+		res.CompLeakEnergy += pl.LeakPower * T
+		res.CompDynEnergy += w / pl.Speeds[idx] * pl.DynPower[idx]
+	}
+	res.ActiveCores = len(work)
+
+	// Communication routing, link loads and cycle-times.
+	for e, edge := range g.Edges {
+		a, b := m.Alloc[edge.Src], m.Alloc[edge.Dst]
+		if a == b {
+			if _, ok := m.Paths[e]; ok {
+				return nil, fmt.Errorf("mapping: edge %d is intra-core but has a path", e)
+			}
+			continue
+		}
+		path := m.PathFor(pl, e, a, b)
+		if err := pl.ValidatePath(a, b, path); err != nil {
+			return nil, fmt.Errorf("mapping: edge %d: %w", e, err)
+		}
+		for _, l := range path {
+			res.LinkLoads[l] += edge.Volume
+		}
+	}
+	capacity := pl.LinkCapacity(T)
+	for l, load := range res.LinkLoads {
+		if load > capacity*(1+relTol) {
+			return nil, fmt.Errorf("mapping: link %v load %.6g GB exceeds capacity %.6g GB", l, load, capacity)
+		}
+		if load > 0 {
+			res.UsedLinks++
+		}
+		if ct := load / pl.BW; ct > res.MaxCycleTime {
+			res.MaxCycleTime = ct
+		}
+		res.CommDynEnergy += load * pl.EnergyPerGB
+	}
+
+	res.CommLeakEnergy = pl.CommLeakPower * T
+	res.Energy = res.CompLeakEnergy + res.CompDynEnergy + res.CommLeakEnergy + res.CommDynEnergy
+	return res, nil
+}
+
+// checkDAGPartition verifies the mapping rule of Section 3.3: the quotient
+// graph whose nodes are the per-core stage clusters must be acyclic. The
+// paper states the rule through the convexity closure property (any stage
+// between two co-located stages must be co-located); acyclicity of the
+// quotient is the property the proofs and the streaming semantics actually
+// rely on, and it implies convexity.
+func checkDAGPartition(g *spg.Graph, pl *platform.Platform, m *Mapping) error {
+	// Assign dense cluster ids per used core.
+	id := make(map[platform.Core]int)
+	for _, c := range m.Alloc {
+		if _, ok := id[c]; !ok {
+			id[c] = len(id)
+		}
+	}
+	k := len(id)
+	adj := make(map[int][]int, k)
+	indeg := make([]int, k)
+	seen := make(map[[2]int]bool)
+	for _, e := range g.Edges {
+		a, b := id[m.Alloc[e.Src]], id[m.Alloc[e.Dst]]
+		if a == b || seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		adj[a] = append(adj[a], b)
+		indeg[b]++
+	}
+	queue := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		processed++
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if processed != k {
+		return errors.New("mapping: cluster quotient graph is cyclic (DAG-partition rule violated)")
+	}
+	return nil
+}
+
+// MustEvaluate is a test helper: it panics when Evaluate fails.
+func MustEvaluate(g *spg.Graph, pl *platform.Platform, m *Mapping, T float64) *Result {
+	res, err := Evaluate(g, pl, m, T)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

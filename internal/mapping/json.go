@@ -1,0 +1,100 @@
+package mapping
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"spgcmp/internal/platform"
+)
+
+// jsonMapping is the on-disk representation of a Mapping, independent of the
+// platform object (grid dimensions are embedded for validation on load).
+type jsonMapping struct {
+	P     int        `json:"p"`
+	Q     int        `json:"q"`
+	Alloc [][2]int   `json:"alloc"` // stage -> [u, v]
+	Cores []jsonCore `json:"cores"`
+	Paths []jsonPath `json:"paths,omitempty"`
+}
+
+type jsonCore struct {
+	U        int `json:"u"`
+	V        int `json:"v"`
+	SpeedIdx int `json:"speed_idx"`
+}
+
+type jsonPath struct {
+	Edge int      `json:"edge"`
+	Hops [][4]int `json:"hops"` // [fromU, fromV, toU, toV]
+}
+
+// WriteJSON serializes the mapping.
+func (m *Mapping) WriteJSON(w io.Writer, pl *platform.Platform) error {
+	jm := jsonMapping{P: pl.P, Q: pl.Q, Alloc: make([][2]int, len(m.Alloc))}
+	for i, c := range m.Alloc {
+		jm.Alloc[i] = [2]int{c.U, c.V}
+	}
+	for u := 0; u < pl.P; u++ {
+		for v := 0; v < pl.Q; v++ {
+			if idx := m.SpeedIdx[u*pl.Q+v]; idx >= 0 {
+				jm.Cores = append(jm.Cores, jsonCore{U: u, V: v, SpeedIdx: idx})
+			}
+		}
+	}
+	for e, path := range m.Paths {
+		jp := jsonPath{Edge: e}
+		for _, l := range path {
+			jp.Hops = append(jp.Hops, [4]int{l.From.U, l.From.V, l.To.U, l.To.V})
+		}
+		jm.Paths = append(jm.Paths, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jm)
+}
+
+// ReadJSON parses a mapping written by WriteJSON and validates it against
+// the platform dimensions.
+func ReadJSON(r io.Reader, pl *platform.Platform) (*Mapping, error) {
+	var jm jsonMapping
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, err
+	}
+	if jm.P != pl.P || jm.Q != pl.Q {
+		return nil, fmt.Errorf("mapping: file targets a %dx%d grid, platform is %dx%d",
+			jm.P, jm.Q, pl.P, pl.Q)
+	}
+	m := New(len(jm.Alloc), pl)
+	for i, uv := range jm.Alloc {
+		c := platform.Core{U: uv[0], V: uv[1]}
+		if !pl.InBounds(c) {
+			return nil, fmt.Errorf("mapping: stage %d outside the grid: %v", i, c)
+		}
+		m.Alloc[i] = c
+	}
+	for _, jc := range jm.Cores {
+		c := platform.Core{U: jc.U, V: jc.V}
+		if !pl.InBounds(c) {
+			return nil, fmt.Errorf("mapping: speed entry outside the grid: %v", c)
+		}
+		if jc.SpeedIdx < 0 || jc.SpeedIdx >= len(pl.Speeds) {
+			return nil, fmt.Errorf("mapping: core %v has invalid speed index %d", c, jc.SpeedIdx)
+		}
+		m.SetSpeed(pl, c, jc.SpeedIdx)
+	}
+	if len(jm.Paths) > 0 {
+		m.Paths = make(map[int][]platform.Link, len(jm.Paths))
+		for _, jp := range jm.Paths {
+			var path []platform.Link
+			for _, h := range jp.Hops {
+				path = append(path, platform.Link{
+					From: platform.Core{U: h[0], V: h[1]},
+					To:   platform.Core{U: h[2], V: h[3]},
+				})
+			}
+			m.Paths[jp.Edge] = path
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,70 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"spgcmp/internal/platform"
+	"spgcmp/internal/spg"
+)
+
+// RenderGrid draws the mapping as a text diagram of the CMP grid: each cell
+// shows the number of stages, the total work and the speed of the core
+// ("off" for unused cores). Useful for eyeballing heuristic layouts.
+func RenderGrid(g *spg.Graph, pl *platform.Platform, m *Mapping) string {
+	work := m.CoreWork(g)
+	count := make(map[platform.Core]int)
+	for _, c := range m.Alloc {
+		count[c]++
+	}
+	const cellW = 18
+	var b strings.Builder
+	hline := "+" + strings.Repeat(strings.Repeat("-", cellW)+"+", pl.Q) + "\n"
+	for u := 0; u < pl.P; u++ {
+		b.WriteString(hline)
+		row1, row2 := "|", "|"
+		for v := 0; v < pl.Q; v++ {
+			c := platform.Core{U: u, V: v}
+			if n := count[c]; n > 0 {
+				row1 += pad(fmt.Sprintf(" %d stages", n), cellW) + "|"
+				row2 += pad(fmt.Sprintf(" %.3gGc @%.2gGHz", work[c], pl.Speeds[m.SpeedOf(pl, c)]), cellW) + "|"
+			} else {
+				row1 += pad(" .", cellW) + "|"
+				row2 += pad(" off", cellW) + "|"
+			}
+		}
+		b.WriteString(row1 + "\n" + row2 + "\n")
+	}
+	b.WriteString(hline)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Summary returns a one-line description of a mapping's resource usage.
+func Summary(g *spg.Graph, pl *platform.Platform, m *Mapping) string {
+	work := m.CoreWork(g)
+	var minW, maxW, total float64
+	first := true
+	for _, w := range work {
+		if first || w < minW {
+			minW = w
+		}
+		if first || w > maxW {
+			maxW = w
+		}
+		total += w
+		first = false
+	}
+	imbalance := 0.0
+	if len(work) > 0 && maxW > 0 {
+		imbalance = (maxW - minW) / maxW
+	}
+	return fmt.Sprintf("%d cores, %.4g Gcycles total, load imbalance %.1f%%",
+		len(work), total, 100*imbalance)
+}

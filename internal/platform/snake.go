@@ -1,0 +1,71 @@
+package platform
+
+// Snake is the embedding of a 1 x (p*q) uni-line CMP into the 2D grid used by
+// the 1D heuristics (Section 5.4): positions wind through the grid row by
+// row, alternating direction, so that consecutive positions are always
+// physically adjacent:
+//
+//	C(1,1) -> C(1,2) -> ... -> C(1,q)
+//	                              |
+//	C(2,1) <- ...       <-     C(2,q)
+//	   |
+//	C(3,1) -> ...
+type Snake struct {
+	pl    *Platform
+	cores []Core
+	index map[Core]int
+}
+
+// NewSnake builds the snake embedding for the platform.
+func NewSnake(pl *Platform) *Snake {
+	s := &Snake{
+		pl:    pl,
+		cores: make([]Core, 0, pl.NumCores()),
+		index: make(map[Core]int, pl.NumCores()),
+	}
+	for u := 0; u < pl.P; u++ {
+		if u%2 == 0 {
+			for v := 0; v < pl.Q; v++ {
+				s.push(Core{u, v})
+			}
+		} else {
+			for v := pl.Q - 1; v >= 0; v-- {
+				s.push(Core{u, v})
+			}
+		}
+	}
+	return s
+}
+
+func (s *Snake) push(c Core) {
+	s.index[c] = len(s.cores)
+	s.cores = append(s.cores, c)
+}
+
+// Len returns the number of positions (p*q).
+func (s *Snake) Len() int { return len(s.cores) }
+
+// Core returns the physical core at snake position k (0-based).
+func (s *Snake) Core(k int) Core { return s.cores[k] }
+
+// Position returns the snake position of a physical core.
+func (s *Snake) Position(c Core) int { return s.index[c] }
+
+// Path returns the directed links followed when travelling along the snake
+// from position i to position j. It supports both directions (the 1D
+// heuristics only use forward traffic on a uni-directional configuration, but
+// the embedding itself is bidirectional) and is empty when i == j.
+func (s *Snake) Path(i, j int) []Link {
+	if i == j {
+		return nil
+	}
+	step := 1
+	if j < i {
+		step = -1
+	}
+	path := make([]Link, 0, (j-i)*step)
+	for k := i; k != j; k += step {
+		path = append(path, Link{s.cores[k], s.cores[k+step]})
+	}
+	return path
+}

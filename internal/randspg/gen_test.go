@@ -1,0 +1,142 @@
+package randspg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spgcmp/internal/spg"
+)
+
+// TestExactSizeAndElevation: the generator must hit the requested (n, e)
+// exactly across the experiment ranges of the paper (Figures 10-13).
+func TestExactSizeAndElevation(t *testing.T) {
+	for _, n := range []int{50, 150} {
+		maxE := 20
+		if n == 150 {
+			maxE = 30
+		}
+		for e := 1; e <= maxE; e++ {
+			for seed := int64(0); seed < 5; seed++ {
+				g, err := Generate(Params{N: n, Elevation: e, Seed: seed})
+				if err != nil {
+					t.Fatalf("n=%d e=%d seed=%d: %v", n, e, seed, err)
+				}
+				if g.N() != n || g.Elevation() != e {
+					t.Fatalf("n=%d e=%d seed=%d: got (%d, %d)", n, e, seed, g.N(), g.Elevation())
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratedGraphsAreValidSPGs(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 10 + int(seed%91+91)%91 // 10..100
+		e := 1 + int(seed%17+17)%17  // 1..17
+		if n < e+2 {
+			e = 1
+		}
+		g, err := Generate(Params{N: n, Elevation: e, Seed: seed})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := g.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return spg.IsSeriesParallel(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(Params{N: 40, Elevation: 6, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Params{N: 40, Elevation: 6, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("structure not deterministic")
+	}
+	for i := range a.Stages {
+		if a.Stages[i] != b.Stages[i] {
+			t.Fatalf("stage %d differs", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Params{N: 40, Elevation: 6, Seed: 1})
+	b, _ := Generate(Params{N: 40, Elevation: 6, Seed: 2})
+	same := a.M() == b.M()
+	if same {
+		for i := range a.Edges {
+			if a.Edges[i] != b.Edges[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestCCRScaling(t *testing.T) {
+	for _, ccr := range []float64{10, 1, 0.1} {
+		g, err := Generate(Params{N: 50, Elevation: 8, Seed: 3, CCR: ccr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := spg.CCR(g); math.Abs(got-ccr)/ccr > 1e-9 {
+			t.Errorf("CCR = %g, want %g", got, ccr)
+		}
+	}
+}
+
+func TestWeightBounds(t *testing.T) {
+	g, err := Generate(Params{N: 60, Elevation: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range g.Stages {
+		if s.Weight < 0.01 || s.Weight > 0.1 {
+			t.Errorf("stage %d weight %g outside [0.01, 0.1]", i, s.Weight)
+		}
+	}
+}
+
+func TestParamErrors(t *testing.T) {
+	if _, err := Generate(Params{N: 1, Elevation: 1}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := Generate(Params{N: 10, Elevation: 0}); err == nil {
+		t.Error("elevation 0 accepted")
+	}
+	if _, err := Generate(Params{N: 2, Elevation: 3}); err == nil {
+		t.Error("N=2 with elevation 3 accepted")
+	}
+	if _, err := Generate(Params{N: 4, Elevation: 3}); err == nil {
+		t.Error("N=4 with elevation 3 accepted (needs N >= 5)")
+	}
+}
+
+// TestMinimalSizes: the boundary N = Elevation + 2 must always work.
+func TestMinimalSizes(t *testing.T) {
+	for e := 2; e <= 25; e++ {
+		g, err := Generate(Params{N: e + 2, Elevation: e, Seed: int64(e)})
+		if err != nil {
+			t.Fatalf("e=%d: %v", e, err)
+		}
+		if g.N() != e+2 || g.Elevation() != e {
+			t.Fatalf("e=%d: got (n=%d, e=%d)", e, g.N(), g.Elevation())
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"spgcmp/internal/core"
+	"spgcmp/internal/mapping"
+	"spgcmp/internal/platform"
+	"spgcmp/internal/spg"
+)
+
+func solve(t *testing.T, h core.Heuristic, inst core.Instance) *core.Solution {
+	t.Helper()
+	sol, err := h.Solve(inst)
+	if err != nil {
+		t.Fatalf("%s: %v", h.Name(), err)
+	}
+	return sol
+}
+
+func testChain(t *testing.T, k int, w, vol float64) *spg.Graph {
+	t.Helper()
+	ws := make([]float64, k)
+	vs := make([]float64, k-1)
+	for i := range ws {
+		ws[i] = w
+	}
+	for i := range vs {
+		vs[i] = vol
+	}
+	g, err := spg.Chain(ws, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSaturatedPeriodMatchesAnalytic: under saturation the measured
+// steady-state period must converge to the maximum resource cycle-time.
+func TestSaturatedPeriodMatchesAnalytic(t *testing.T) {
+	g := testChain(t, 8, 0.03, 0.005)
+	pl := platform.XScale(4, 4)
+	inst := core.Instance{Graph: g, Platform: pl, Period: 0.1}
+	sol := solve(t, core.NewDPA1D(), inst)
+
+	rep, err := Run(g, pl, sol.Mapping, inst.Period, Options{DataSets: 400, Saturated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rep.MeasuredPeriod-rep.AnalyticPeriod) / rep.AnalyticPeriod; rel > 1e-6 {
+		t.Errorf("saturated period %.9g vs analytic %.9g (rel %.3g)",
+			rep.MeasuredPeriod, rep.AnalyticPeriod, rel)
+	}
+}
+
+// TestArrivalLimitedPeriodEqualsT: with periodic arrivals and a valid
+// mapping (max cycle-time <= T), departures settle at exactly T.
+func TestArrivalLimitedPeriodEqualsT(t *testing.T) {
+	g := testChain(t, 6, 0.02, 0.002)
+	pl := platform.XScale(4, 4)
+	inst := core.Instance{Graph: g, Platform: pl, Period: 0.05}
+	sol := solve(t, core.NewGreedy(), inst)
+
+	rep, err := Run(g, pl, sol.Mapping, inst.Period, Options{DataSets: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.MeasuredPeriod-inst.Period) > 1e-9 {
+		t.Errorf("arrival-limited period %.9g, want T=%g", rep.MeasuredPeriod, inst.Period)
+	}
+	if rep.AnalyticPeriod > inst.Period*(1+1e-9) {
+		t.Errorf("analytic period %.9g exceeds T", rep.AnalyticPeriod)
+	}
+}
+
+// TestSaturatedPeriodAcrossHeuristics runs the property over every heuristic
+// and a parallel-structure workload.
+func TestSaturatedPeriodAcrossHeuristics(t *testing.T) {
+	mid := []float64{0.03, 0.04, 0.02, 0.05}
+	vol := []float64{0.002, 0.001, 0.003, 0.002}
+	g, err := spg.ForkJoin(0.01, 0.01, mid, vol, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := platform.XScale(4, 4)
+	inst := core.Instance{Graph: g, Platform: pl, Period: 0.06}
+	for _, h := range core.All(9) {
+		sol, err := h.Solve(inst)
+		if err != nil {
+			continue
+		}
+		rep, err := Run(g, pl, sol.Mapping, inst.Period, Options{DataSets: 400, Saturated: true})
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		if rel := math.Abs(rep.MeasuredPeriod-rep.AnalyticPeriod) / rep.AnalyticPeriod; rel > 1e-6 {
+			t.Errorf("%s: measured %.9g vs analytic %.9g", h.Name(), rep.MeasuredPeriod, rep.AnalyticPeriod)
+		}
+	}
+}
+
+// TestLatencyAtLeastCriticalPath: the steady-state latency can never be
+// smaller than the sum of service times along any source-to-sink path.
+func TestLatencyAtLeastCriticalPath(t *testing.T) {
+	g := testChain(t, 5, 0.04, 0.004)
+	pl := platform.XScale(4, 4)
+	inst := core.Instance{Graph: g, Platform: pl, Period: 0.1}
+	sol := solve(t, core.NewDPA1D(), inst)
+
+	rep, err := Run(g, pl, sol.Mapping, inst.Period, Options{DataSets: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower bound: total work at max speed (communications only add).
+	lower := 5 * 0.04 / pl.MaxSpeed()
+	if rep.MeanLatency < lower-1e-12 {
+		t.Errorf("latency %.9g below physical lower bound %.9g", rep.MeanLatency, lower)
+	}
+}
+
+// TestUtilizationBounds: utilizations are in (0, 1] and the bottleneck
+// resource saturates under a saturated input.
+func TestUtilizationBounds(t *testing.T) {
+	g := testChain(t, 8, 0.03, 0.003)
+	pl := platform.XScale(4, 4)
+	inst := core.Instance{Graph: g, Platform: pl, Period: 0.08}
+	sol := solve(t, core.NewDPA1D(), inst)
+
+	rep, err := Run(g, pl, sol.Mapping, inst.Period, Options{DataSets: 500, Saturated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxUtil float64
+	for c, u := range rep.CoreUtilization {
+		if u <= 0 || u > 1+1e-9 {
+			t.Errorf("core %v utilization %g out of range", c, u)
+		}
+		if u > maxUtil {
+			maxUtil = u
+		}
+	}
+	for l, u := range rep.LinkUtilization {
+		if u < 0 || u > 1+1e-9 {
+			t.Errorf("link %v utilization %g out of range", l, u)
+		}
+	}
+	if maxUtil < 0.9 {
+		t.Errorf("bottleneck utilization %g under saturation, expected near 1", maxUtil)
+	}
+}
+
+// TestEnergyMatchesEvaluator: the per-data-set energy reported by the
+// simulator is the evaluator's energy.
+func TestEnergyMatchesEvaluator(t *testing.T) {
+	g := testChain(t, 6, 0.02, 0.001)
+	pl := platform.XScale(4, 4)
+	inst := core.Instance{Graph: g, Platform: pl, Period: 0.1}
+	sol := solve(t, core.NewDPA2D1D(), inst)
+	rep, err := Run(g, pl, sol.Mapping, inst.Period, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.EnergyPerDataSet-sol.Energy()) > 1e-12 {
+		t.Errorf("sim energy %.12g vs evaluator %.12g", rep.EnergyPerDataSet, sol.Energy())
+	}
+}
+
+// TestRunRejectsInvalidMapping: the simulator refuses mappings that fail
+// evaluation.
+func TestRunRejectsInvalidMapping(t *testing.T) {
+	g := testChain(t, 3, 0.5, 0.001)
+	pl := platform.XScale(2, 2)
+	m := mapping.New(3, pl)
+	for i := range m.Alloc {
+		m.Alloc[i] = platform.Core{U: 0, V: 0}
+	}
+	m.SetSpeed(pl, platform.Core{U: 0, V: 0}, 0)
+	if _, err := Run(g, pl, m, 0.01, DefaultOptions()); err == nil {
+		t.Error("invalid mapping accepted")
+	}
+}
+
+// TestQueueDepthsBounded: with periodic arrivals and a valid mapping, no
+// resource accumulates unbounded backlog — queues stay small (the pipeline
+// keeps up). Under saturation the source-side backlog must grow with the
+// data-set count instead.
+func TestQueueDepthsBounded(t *testing.T) {
+	g := testChain(t, 8, 0.03, 0.003)
+	pl := platform.XScale(4, 4)
+	inst := core.Instance{Graph: g, Platform: pl, Period: 0.08}
+	sol := solve(t, core.NewDPA1D(), inst)
+
+	arr, err := Run(g, pl, sol.Mapping, inst.Period, Options{DataSets: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, q := range arr.MaxCoreQueue {
+		if q > 3 {
+			t.Errorf("core %v backlog %d with periodic arrivals", c, q)
+		}
+	}
+	sat, err := Run(g, pl, sol.Mapping, inst.Period, Options{DataSets: 300, Saturated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxQ := 0
+	for _, q := range sat.MaxCoreQueue {
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	if maxQ < 100 {
+		t.Errorf("saturated bottleneck backlog %d, expected to scale with 300 data sets", maxQ)
+	}
+}
+
+// TestSingleDataSet: a single data set measures pure latency; its period
+// equals its completion time.
+func TestSingleDataSet(t *testing.T) {
+	g := testChain(t, 4, 0.02, 0.001)
+	pl := platform.XScale(4, 4)
+	inst := core.Instance{Graph: g, Platform: pl, Period: 0.1}
+	sol := solve(t, core.NewDPA1D(), inst)
+	rep, err := Run(g, pl, sol.Mapping, inst.Period, Options{DataSets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeasuredPeriod != rep.Makespan {
+		t.Errorf("single data set: period %g != makespan %g", rep.MeasuredPeriod, rep.Makespan)
+	}
+	if rep.MeanLatency != rep.Makespan {
+		t.Errorf("single data set: latency %g != makespan %g", rep.MeanLatency, rep.Makespan)
+	}
+}
+
+// TestZeroDataSetsRejected covers the option validation.
+func TestZeroDataSetsRejected(t *testing.T) {
+	g := testChain(t, 3, 0.02, 0.001)
+	pl := platform.XScale(2, 2)
+	inst := core.Instance{Graph: g, Platform: pl, Period: 0.1}
+	sol := solve(t, core.NewDPA1D(), inst)
+	if _, err := Run(g, pl, sol.Mapping, inst.Period, Options{DataSets: 0}); err == nil {
+		t.Error("DataSets=0 accepted")
+	}
+}

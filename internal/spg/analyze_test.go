@@ -1,0 +1,181 @@
+package spg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReachabilityChain(t *testing.T) {
+	g := mustChain(t, 5)
+	r := NewReachability(g)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := i < j
+			if got := r.Reaches(i, j); got != want {
+				t.Errorf("Reaches(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	if r.Reaches(2, 2) {
+		t.Error("Reaches must be irreflexive")
+	}
+}
+
+func TestReachabilityForkJoin(t *testing.T) {
+	fj, _ := ForkJoin(0, 0, []float64{1, 1, 1}, []float64{1, 1, 1}, []float64{1, 1, 1})
+	r := NewReachability(fj)
+	// Middle stages (indices 1, 3, 4) are pairwise incomparable.
+	for _, a := range []int{1, 3, 4} {
+		for _, b := range []int{1, 3, 4} {
+			if a != b && r.Comparable(a, b) {
+				t.Errorf("middle stages %d and %d comparable", a, b)
+			}
+		}
+	}
+	if !r.Reaches(0, 2) || !r.Reaches(0, 4) || !r.Reaches(4, 2) {
+		t.Error("source/sink reachability broken")
+	}
+}
+
+// TestReachabilityMatchesDFS is a property test against a straightforward
+// per-query DFS oracle.
+func TestReachabilityMatchesDFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomSPG(rng, 2+rng.Intn(25))
+		r := NewReachability(g)
+		var dfs func(from, to int, seen []bool) bool
+		dfs = func(from, to int, seen []bool) bool {
+			if from == to {
+				return true
+			}
+			seen[from] = true
+			for _, e := range g.OutEdges(from) {
+				d := g.Edges[e].Dst
+				if !seen[d] && dfs(d, to, seen) {
+					return true
+				}
+			}
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			i, j := rng.Intn(g.N()), rng.Intn(g.N())
+			want := i != j && dfs(i, j, make([]bool, g.N()))
+			if r.Reaches(i, j) != want {
+				t.Logf("seed %d: Reaches(%d,%d) = %v, want %v", seed, i, j, r.Reaches(i, j), want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomSPG(rng, 30)
+	levels := Levels(g)
+	count := 0
+	for y, lv := range levels {
+		for _, s := range lv {
+			if g.Stages[s].Label.Y != y+1 {
+				t.Fatalf("stage %d in level %d has label %v", s, y+1, g.Stages[s].Label)
+			}
+			count++
+		}
+		// Within a level, x must be strictly increasing.
+		for i := 1; i < len(lv); i++ {
+			if g.Stages[lv[i-1]].Label.X >= g.Stages[lv[i]].Label.X {
+				t.Fatalf("level %d not sorted by x", y+1)
+			}
+		}
+	}
+	if count != g.N() {
+		t.Fatalf("levels cover %d stages of %d", count, g.N())
+	}
+}
+
+func TestStageGrid(t *testing.T) {
+	fj, _ := ForkJoin(0, 0, []float64{1, 1}, []float64{1, 1}, []float64{1, 1})
+	grid := StageGrid(fj)
+	if len(grid) != fj.Depth() || len(grid[0]) != fj.Elevation() {
+		t.Fatalf("grid dims %dx%d", len(grid), len(grid[0]))
+	}
+	// Source at (1,1), middles at (2,1) and (2,2), sink at (3,1).
+	if grid[0][0] != 0 || grid[2][0] != 2 {
+		t.Errorf("terminals misplaced: %v", grid)
+	}
+	if grid[1][0] != 1 || grid[1][1] != 3 {
+		t.Errorf("middles misplaced: %v", grid)
+	}
+	// Empty cells are -1.
+	if grid[0][1] != -1 || grid[2][1] != -1 {
+		t.Errorf("empty cells not -1: %v", grid)
+	}
+}
+
+func TestIsConvex(t *testing.T) {
+	// Chain 0-1-2-3: {0,2} is not convex (1 lies between), {1,2} is.
+	g := mustChain(t, 4)
+	r := NewReachability(g)
+	member := []bool{true, false, true, false}
+	if IsConvex(g, r, member) {
+		t.Error("{0,2} reported convex on a chain")
+	}
+	member = []bool{false, true, true, false}
+	if !IsConvex(g, r, member) {
+		t.Error("{1,2} reported non-convex on a chain")
+	}
+	// Fork-join: {source, sink} is not convex; {branch} is.
+	fj, _ := ForkJoin(0, 0, []float64{1, 1}, []float64{1, 1}, []float64{1, 1})
+	r2 := NewReachability(fj)
+	if IsConvex(fj, r2, []bool{true, false, true, false}) {
+		t.Error("{source,sink} reported convex on a fork-join")
+	}
+	if !IsConvex(fj, r2, []bool{false, true, false, false}) {
+		t.Error("single branch stage reported non-convex")
+	}
+}
+
+func TestCCRAndScale(t *testing.T) {
+	g := Primitive(3, 3, 2)
+	if got := CCR(g); got != 3 {
+		t.Errorf("CCR = %g, want 3", got)
+	}
+	ScaleToCCR(g, 12)
+	if got := CCR(g); math.Abs(got-12) > 1e-12 {
+		t.Errorf("scaled CCR = %g, want 12", got)
+	}
+	// No-volume graph: CCR is +Inf and scaling is a no-op.
+	g2 := Primitive(1, 1, 0)
+	if !math.IsInf(CCR(g2), 1) {
+		t.Errorf("CCR of zero-volume graph = %g", CCR(g2))
+	}
+	ScaleToCCR(g2, 5)
+	if g2.TotalVolume() != 0 {
+		t.Error("scaling resurrected volume from nothing")
+	}
+	// Non-positive target: no-op.
+	before := g.Edges[0].Volume
+	ScaleToCCR(g, -1)
+	if g.Edges[0].Volume != before {
+		t.Error("negative target changed volumes")
+	}
+}
+
+// TestScaleToCCRPreservesRatios: scaling is uniform across edges.
+func TestScaleToCCRPreservesRatios(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randomSPG(rng, 20)
+	RandomizeVolumes(g, rng, 1, 5)
+	ratio := g.Edges[0].Volume / g.Edges[1].Volume
+	ScaleToCCR(g, 0.37)
+	after := g.Edges[0].Volume / g.Edges[1].Volume
+	if math.Abs(ratio-after) > 1e-9*ratio {
+		t.Errorf("edge ratio changed: %g -> %g", ratio, after)
+	}
+}

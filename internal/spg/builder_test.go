@@ -1,0 +1,90 @@
+package spg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildShapeExact(t *testing.T) {
+	cases := []struct{ n, ymax, xmax int }{
+		{8, 1, 8},     // pure chain (DCT)
+		{57, 12, 12},  // Beamformer
+		{55, 17, 8},   // ChannelVocoder (tight branches)
+		{120, 2, 111}, // Serpent
+		{114, 17, 32}, // Vocoder
+		{23, 5, 18},   // MPEG2
+	}
+	for _, tc := range cases {
+		g, err := BuildShape(tc.n, tc.ymax, tc.xmax, nil)
+		if err != nil {
+			t.Fatalf("BuildShape(%v): %v", tc, err)
+		}
+		if g.N() != tc.n || g.Elevation() != tc.ymax || g.Depth() != tc.xmax {
+			t.Fatalf("BuildShape(%v) = (n=%d, y=%d, x=%d)", tc, g.N(), g.Elevation(), g.Depth())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("BuildShape(%v): invalid: %v", tc, err)
+		}
+		if !IsSeriesParallel(g) {
+			t.Fatalf("BuildShape(%v): not series-parallel", tc)
+		}
+	}
+}
+
+func TestBuildShapeSeeded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xmax := 3 + rng.Intn(30)
+		ymax := 1 + rng.Intn(8)
+		maxExtra := (ymax - 1) * (xmax - 2)
+		extra := 0
+		if ymax > 1 {
+			extra = (ymax - 1) + rng.Intn(maxExtra-(ymax-1)+1)
+		}
+		n := xmax + extra
+		g, err := BuildShape(n, ymax, xmax, rng)
+		if err != nil {
+			t.Logf("seed %d (n=%d y=%d x=%d): %v", seed, n, ymax, xmax, err)
+			return false
+		}
+		return g.N() == n && g.Elevation() == ymax && g.Depth() == xmax && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildShapeErrors(t *testing.T) {
+	cases := []struct{ n, ymax, xmax int }{
+		{5, 1, 1},   // xmax too small
+		{5, 0, 5},   // ymax too small
+		{4, 1, 5},   // n < xmax
+		{5, 3, 5},   // not enough spare stages (needs 2, has 0)
+		{10, 2, 2},  // xmax too small for branches
+		{100, 2, 5}, // too many spare stages for one branch
+		{6, 1, 5},   // ymax=1 requires n == xmax
+	}
+	for _, tc := range cases {
+		if _, err := BuildShape(tc.n, tc.ymax, tc.xmax, nil); err == nil {
+			t.Errorf("BuildShape(%v) accepted", tc)
+		}
+	}
+}
+
+func TestRandomizeBounds(t *testing.T) {
+	g := mustChain(t, 10)
+	rng := rand.New(rand.NewSource(5))
+	RandomizeWeights(g, rng, 2, 3)
+	RandomizeVolumes(g, rng, 7, 8)
+	for i, s := range g.Stages {
+		if s.Weight < 2 || s.Weight >= 3 {
+			t.Errorf("stage %d weight %g outside [2,3)", i, s.Weight)
+		}
+	}
+	for i, e := range g.Edges {
+		if e.Volume < 7 || e.Volume >= 8 {
+			t.Errorf("edge %d volume %g outside [7,8)", i, e.Volume)
+		}
+	}
+}

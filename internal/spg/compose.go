@@ -1,0 +1,158 @@
+package spg
+
+import "fmt"
+
+// MergePolicy controls the weight of a node created by merging two nodes
+// during composition (the sink of the first graph with the source of the
+// second for series composition; the two sources and the two sinks for
+// parallel composition).
+type MergePolicy int
+
+const (
+	// MergeSum gives the merged node the sum of the two weights. This is the
+	// default: the merged stage performs the work of both original stages.
+	MergeSum MergePolicy = iota
+	// MergeKeepFirst keeps the weight of the node from the first graph,
+	// matching the paper's label bookkeeping where S_i = S^(1)_i survives.
+	MergeKeepFirst
+	// MergeMax keeps the larger of the two weights.
+	MergeMax
+)
+
+func (p MergePolicy) merge(a, b float64) float64 {
+	switch p {
+	case MergeKeepFirst:
+		return a
+	case MergeMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+// Series returns the series composition of g1 and g2 under the default
+// MergeSum policy. See SeriesWith.
+func Series(g1, g2 *Graph) *Graph { return SeriesWith(g1, g2, MergeSum) }
+
+// SeriesWith merges the sink of g1 with the source of g2 and relabels the
+// stages of g2 following Section 3.1 of the paper: the x coordinates of g2
+// are shifted by x(sink of g1) - 1 and the y coordinates are kept. The inputs
+// are not modified. The resulting graph has n1+n2-1 stages: the stages of g1
+// keep their indices, and stage j>0 of g2 becomes stage n1+j-1.
+func SeriesWith(g1, g2 *Graph, policy MergePolicy) *Graph {
+	sink1 := g1.Sink()
+	if sink1 < 0 {
+		panic("spg: series composition of graph without unique sink")
+	}
+	xShift := g1.Stages[sink1].Label.X - 1
+
+	res := g1.Clone()
+	res.invalidate()
+	res.Stages[sink1].Weight = policy.merge(g1.Stages[sink1].Weight, g2.Stages[0].Weight)
+	if res.Stages[sink1].Name == "" {
+		res.Stages[sink1].Name = g2.Stages[0].Name
+	}
+
+	// remap[j] = index in res of stage j of g2.
+	remap := make([]int, g2.N())
+	remap[0] = sink1
+	for j := 1; j < g2.N(); j++ {
+		s := g2.Stages[j]
+		s.Label.X += xShift
+		remap[j] = len(res.Stages)
+		res.Stages = append(res.Stages, s)
+	}
+	for _, e := range g2.Edges {
+		res.Edges = append(res.Edges, Edge{Src: remap[e.Src], Dst: remap[e.Dst], Volume: e.Volume})
+	}
+	return res
+}
+
+// Parallel returns the parallel composition of g1 and g2 under the default
+// MergeSum policy. See ParallelWith.
+func Parallel(g1, g2 *Graph) *Graph { return ParallelWith(g1, g2, MergeSum) }
+
+// ParallelWith merges the sources of g1 and g2 and their sinks, following
+// Section 3.1 of the paper: the graph with the larger sink x coordinate plays
+// the role of g1 (they are swapped otherwise, so that the first graph
+// contains the longest path); the y coordinates of the inner stages of the
+// second graph are shifted by the maximum y of the first. The inputs are not
+// modified.
+func ParallelWith(g1, g2 *Graph, policy MergePolicy) *Graph {
+	s1, s2 := g1.Sink(), g2.Sink()
+	if s1 < 0 || s2 < 0 {
+		panic("spg: parallel composition of graph without unique sink")
+	}
+	if g1.Stages[s1].Label.X < g2.Stages[s2].Label.X {
+		g1, g2 = g2, g1
+		s1, s2 = s2, s1
+	}
+	yShift := g1.Elevation()
+
+	res := g1.Clone()
+	res.invalidate()
+	res.Stages[0].Weight = policy.merge(g1.Stages[0].Weight, g2.Stages[0].Weight)
+	res.Stages[s1].Weight = policy.merge(g1.Stages[s1].Weight, g2.Stages[s2].Weight)
+	if res.Stages[0].Name == "" {
+		res.Stages[0].Name = g2.Stages[0].Name
+	}
+	if res.Stages[s1].Name == "" {
+		res.Stages[s1].Name = g2.Stages[s2].Name
+	}
+
+	remap := make([]int, g2.N())
+	for j := range remap {
+		remap[j] = -1
+	}
+	remap[0] = 0
+	remap[s2] = s1
+	for j := 0; j < g2.N(); j++ {
+		if remap[j] >= 0 {
+			continue
+		}
+		s := g2.Stages[j]
+		s.Label.Y += yShift
+		remap[j] = len(res.Stages)
+		res.Stages = append(res.Stages, s)
+	}
+	for _, e := range g2.Edges {
+		res.Edges = append(res.Edges, Edge{Src: remap[e.Src], Dst: remap[e.Dst], Volume: e.Volume})
+	}
+	return res
+}
+
+// ForkJoin builds the fork-join SPG used throughout the paper's proofs: a
+// source, k parallel middle stages with the given weights, and a sink.
+// inVol[i] is the volume from the source to middle stage i and outVol[i] the
+// volume from middle stage i to the sink.
+func ForkJoin(wSource, wSink float64, middle, inVol, outVol []float64) (*Graph, error) {
+	if len(middle) == 0 {
+		return nil, fmt.Errorf("spg: fork-join needs at least one middle stage")
+	}
+	if len(inVol) != len(middle) || len(outVol) != len(middle) {
+		return nil, fmt.Errorf("spg: fork-join volume slices must match middle stages")
+	}
+	res := &Graph{
+		Stages: []Stage{
+			{Weight: wSource, Label: Label{1, 1}},
+			{Weight: middle[0], Label: Label{2, 1}},
+			{Weight: wSink, Label: Label{3, 1}},
+		},
+		Edges: []Edge{
+			{Src: 0, Dst: 1, Volume: inVol[0]},
+			{Src: 1, Dst: 2, Volume: outVol[0]},
+		},
+	}
+	for i := 1; i < len(middle); i++ {
+		idx := len(res.Stages)
+		res.Stages = append(res.Stages, Stage{Weight: middle[i], Label: Label{2, i + 1}})
+		res.Edges = append(res.Edges,
+			Edge{Src: 0, Dst: idx, Volume: inVol[i]},
+			Edge{Src: idx, Dst: 2, Volume: outVol[i]},
+		)
+	}
+	return res, nil
+}

@@ -1,0 +1,291 @@
+package spg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStateLimit is returned when enumerating the admissible subgraphs of an
+// SPG would exceed the configured state budget. The paper's DPA1D heuristic
+// exhibits exactly this failure mode on graphs of large elevation ("there are
+// too many possible splits to explore", Section 6.2.1); callers treat it as a
+// heuristic failure.
+var ErrStateLimit = errors.New("spg: admissible-subgraph state limit exceeded")
+
+// DownsetSpace enumerates the admissible subgraphs of an SPG as defined in
+// the proof of Theorem 1: a subgraph is admissible if it can be obtained from
+// the full graph by repeatedly deleting a stage without successors. These are
+// exactly the predecessor-closed stage sets (downsets, or order ideals) of
+// the dependence partial order.
+//
+// Because stages of equal elevation are pairwise comparable in an SPG, a
+// downset is uniquely identified by how many stages of each elevation level
+// it contains, which bounds the number of downsets by n^y_max (the bound used
+// in the paper's complexity analysis). Downsets are interned lazily and
+// addressed by dense integer ids.
+type DownsetSpace struct {
+	g          *Graph
+	levels     [][]int // stages per elevation level, in chain (x) order
+	levelOf    []int   // stage -> level index (y-1)
+	posInLevel []int   // stage -> position within its level chain
+	preds      [][]int // stage -> distinct predecessors
+
+	ids       map[string]int
+	counts    [][]uint8 // id -> per-level inclusion counts
+	size      []int     // id -> number of included stages
+	coutCache []float64 // id -> outgoing cut volume (NaN sentinel via negative)
+
+	expCache map[int][]Expansion
+	expWork  float64 // maxWork the cache was built with
+
+	maxStates int
+	emptyID   int
+	fullID    int
+}
+
+// Expansion describes one admissible superset reachable from a downset: the
+// added chunk is exactly the stage set that a single additional processor of
+// the uni-directional uni-line CMP would execute.
+type Expansion struct {
+	To        int     // id of the superset downset
+	ChunkWork float64 // total weight of the added stages
+}
+
+// NewDownsetSpace prepares downset enumeration for g. maxStates caps the
+// number of distinct downsets that may be interned; enumeration beyond the
+// cap fails with ErrStateLimit.
+func NewDownsetSpace(g *Graph, maxStates int) (*DownsetSpace, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	levels := Levels(g)
+	for _, lv := range levels {
+		if len(lv) > 255 {
+			return nil, fmt.Errorf("spg: elevation level with %d stages exceeds uint8 count encoding", len(lv))
+		}
+	}
+	n := g.N()
+	ds := &DownsetSpace{
+		g:          g,
+		levels:     levels,
+		levelOf:    make([]int, n),
+		posInLevel: make([]int, n),
+		preds:      make([][]int, n),
+		ids:        make(map[string]int),
+		maxStates:  maxStates,
+		expCache:   make(map[int][]Expansion),
+	}
+	for y, lv := range levels {
+		for p, s := range lv {
+			ds.levelOf[s] = y
+			ds.posInLevel[s] = p
+		}
+	}
+	for i := 0; i < n; i++ {
+		ds.preds[i] = g.Predecessors(i)
+	}
+	empty := make([]uint8, len(levels))
+	var err error
+	ds.emptyID, err = ds.intern(empty)
+	if err != nil {
+		return nil, err
+	}
+	full := make([]uint8, len(levels))
+	for y, lv := range levels {
+		full[y] = uint8(len(lv))
+	}
+	ds.fullID, err = ds.intern(full)
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// EmptyID returns the id of the empty downset.
+func (ds *DownsetSpace) EmptyID() int { return ds.emptyID }
+
+// FullID returns the id of the complete stage set.
+func (ds *DownsetSpace) FullID() int { return ds.fullID }
+
+// NumStates returns the number of downsets interned so far.
+func (ds *DownsetSpace) NumStates() int { return len(ds.counts) }
+
+// Size returns the number of stages in downset id.
+func (ds *DownsetSpace) Size(id int) int { return ds.size[id] }
+
+func (ds *DownsetSpace) intern(counts []uint8) (int, error) {
+	key := string(counts)
+	if id, ok := ds.ids[key]; ok {
+		return id, nil
+	}
+	if len(ds.counts) >= ds.maxStates {
+		return -1, ErrStateLimit
+	}
+	id := len(ds.counts)
+	cp := make([]uint8, len(counts))
+	copy(cp, counts)
+	ds.ids[key] = id
+	ds.counts = append(ds.counts, cp)
+	sz := 0
+	for _, c := range cp {
+		sz += int(c)
+	}
+	ds.size = append(ds.size, sz)
+	ds.coutCache = append(ds.coutCache, -1)
+	return id, nil
+}
+
+// Contains reports whether stage s belongs to downset id.
+func (ds *DownsetSpace) Contains(id, s int) bool {
+	return ds.posInLevel[s] < int(ds.counts[id][ds.levelOf[s]])
+}
+
+// Members returns the stages of downset id in no particular order.
+func (ds *DownsetSpace) Members(id int) []int {
+	out := make([]int, 0, ds.size[id])
+	for y, c := range ds.counts[id] {
+		for p := 0; p < int(c); p++ {
+			out = append(out, ds.levels[y][p])
+		}
+	}
+	return out
+}
+
+// Diff returns the stages of downset to that are not in downset from. It is
+// only meaningful when from is a subset of to, which holds for ids produced
+// by Expansions.
+func (ds *DownsetSpace) Diff(from, to int) []int {
+	cf, ct := ds.counts[from], ds.counts[to]
+	var out []int
+	for y := range cf {
+		for p := int(cf[y]); p < int(ct[y]); p++ {
+			out = append(out, ds.levels[y][p])
+		}
+	}
+	return out
+}
+
+// Cout returns the aggregated volume of the edges leaving downset id (source
+// inside, destination outside). On a uni-directional uni-line CMP this is
+// exactly the load of the link separating the downset's processors from the
+// rest, the quantity bounded by BW*T in Theorem 1.
+func (ds *DownsetSpace) Cout(id int) float64 {
+	if v := ds.coutCache[id]; v >= 0 {
+		return v
+	}
+	var total float64
+	for _, e := range ds.g.Edges {
+		if ds.Contains(id, e.Src) && !ds.Contains(id, e.Dst) {
+			total += e.Volume
+		}
+	}
+	ds.coutCache[id] = total
+	return total
+}
+
+// Expansions enumerates every downset obtainable from id by adding stages
+// whose total weight does not exceed maxWork (at least one stage is added).
+// Results are cached per id; maxWork must be the same across calls on one
+// DownsetSpace (it is fixed to T*s_max for a whole DPA1D run).
+func (ds *DownsetSpace) Expansions(id int, maxWork float64) ([]Expansion, error) {
+	if cached, ok := ds.expCache[id]; ok && ds.expWork == maxWork {
+		return cached, nil
+	}
+	if len(ds.expCache) == 0 {
+		ds.expWork = maxWork
+	} else if ds.expWork != maxWork {
+		// Reset the cache when the budget changes (new run on same space).
+		ds.expCache = make(map[int][]Expansion)
+		ds.expWork = maxWork
+	}
+	counts := make([]uint8, len(ds.counts[id]))
+	copy(counts, ds.counts[id])
+	seen := map[string]bool{string(counts): true}
+	var res []Expansion
+	var err error
+	var dfs func(work float64)
+	dfs = func(work float64) {
+		if err != nil {
+			return
+		}
+		for y := range counts {
+			p := int(counts[y])
+			if p >= len(ds.levels[y]) {
+				continue
+			}
+			s := ds.levels[y][p]
+			w := work + ds.g.Stages[s].Weight
+			if w > maxWork {
+				continue
+			}
+			if !ds.predsIncluded(counts, s) {
+				continue
+			}
+			counts[y]++
+			key := string(counts)
+			if !seen[key] {
+				seen[key] = true
+				var to int
+				to, err = ds.intern(counts)
+				if err != nil {
+					counts[y]--
+					return
+				}
+				res = append(res, Expansion{To: to, ChunkWork: w})
+				dfs(w)
+			}
+			counts[y]--
+		}
+	}
+	dfs(0)
+	if err != nil {
+		return nil, err
+	}
+	ds.expCache[id] = res
+	return res, nil
+}
+
+func (ds *DownsetSpace) predsIncluded(counts []uint8, s int) bool {
+	for _, p := range ds.preds[s] {
+		if ds.posInLevel[p] >= int(counts[ds.levelOf[p]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllDownsets enumerates every downset of the graph (subject to the state
+// cap). It is primarily used by tests and by the exact solver on small
+// instances.
+func (ds *DownsetSpace) AllDownsets() ([]int, error) {
+	// BFS from the empty downset adding one stage at a time.
+	var queue []int
+	queue = append(queue, ds.emptyID)
+	visited := map[int]bool{ds.emptyID: true}
+	counts := make([]uint8, len(ds.levels))
+	for qi := 0; qi < len(queue); qi++ {
+		id := queue[qi]
+		copy(counts, ds.counts[id])
+		for y := range counts {
+			p := int(counts[y])
+			if p >= len(ds.levels[y]) {
+				continue
+			}
+			s := ds.levels[y][p]
+			if !ds.predsIncluded(counts, s) {
+				continue
+			}
+			counts[y]++
+			to, err := ds.intern(counts)
+			counts[y]--
+			if err != nil {
+				return nil, err
+			}
+			if !visited[to] {
+				visited[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+	return queue, nil
+}

@@ -1,0 +1,105 @@
+package spg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation of a Graph.
+type jsonGraph struct {
+	Stages []jsonStage `json:"stages"`
+	Edges  []jsonEdge  `json:"edges"`
+}
+
+type jsonStage struct {
+	Weight float64 `json:"weight"`
+	X      int     `json:"x"`
+	Y      int     `json:"y"`
+	Name   string  `json:"name,omitempty"`
+}
+
+type jsonEdge struct {
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	Volume float64 `json:"volume"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{
+		Stages: make([]jsonStage, g.N()),
+		Edges:  make([]jsonEdge, g.M()),
+	}
+	for i, s := range g.Stages {
+		jg.Stages[i] = jsonStage{Weight: s.Weight, X: s.Label.X, Y: s.Label.Y, Name: s.Name}
+	}
+	for i, e := range g.Edges {
+		jg.Edges[i] = jsonEdge{Src: e.Src, Dst: e.Dst, Volume: e.Volume}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	g.Stages = make([]Stage, len(jg.Stages))
+	g.Edges = make([]Edge, len(jg.Edges))
+	for i, s := range jg.Stages {
+		g.Stages[i] = Stage{Weight: s.Weight, Label: Label{X: s.X, Y: s.Y}, Name: s.Name}
+	}
+	for i, e := range jg.Edges {
+		if e.Src < 0 || e.Src >= len(jg.Stages) || e.Dst < 0 || e.Dst >= len(jg.Stages) {
+			return fmt.Errorf("spg: edge %d endpoints out of range", i)
+		}
+		g.Edges[i] = Edge{Src: e.Src, Dst: e.Dst, Volume: e.Volume}
+	}
+	g.invalidate()
+	return nil
+}
+
+// WriteJSON writes the graph as indented JSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// ReadJSON parses a graph from JSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// WriteDOT writes the graph in Graphviz DOT format, with labels, weights and
+// volumes annotated. Useful for eyeballing generated workloads.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "spg"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", name); err != nil {
+		return err
+	}
+	for i, s := range g.Stages {
+		label := fmt.Sprintf("S%d\\n(%d,%d)\\nw=%.3g", i+1, s.Label.X, s.Label.Y, s.Weight)
+		if s.Name != "" {
+			label = s.Name + "\\n" + label
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\"];\n", i, label); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%.3g\"];\n", e.Src, e.Dst, e.Volume); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

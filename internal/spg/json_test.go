@@ -1,0 +1,86 @@
+package spg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomSPG(rng, 2+rng.Intn(30))
+		RandomizeWeights(g, rng, 0.1, 2)
+		RandomizeVolumes(g, rng, 0.1, 2)
+		g.Stages[0].Name = "source"
+
+		var sb strings.Builder
+		if err := g.WriteJSON(&sb); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		g2, err := ReadJSON(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		for i := range g.Stages {
+			if g.Stages[i] != g2.Stages[i] {
+				t.Logf("seed %d: stage %d differs", seed, i)
+				return false
+			}
+		}
+		for i := range g.Edges {
+			if g.Edges[i] != g2.Edges[i] {
+				t.Logf("seed %d: edge %d differs", seed, i)
+				return false
+			}
+		}
+		return g2.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadJSONRejects(t *testing.T) {
+	cases := []string{
+		`not json at all`,
+		`{"stages":[{"weight":1,"x":1,"y":1}],"edges":[{"src":0,"dst":5,"volume":1}]}`,
+		`{"stages":[{"weight":1,"x":1,"y":1}],"edges":[{"src":-1,"dst":0,"volume":1}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Primitive(1, 2, 3)
+	g.Stages[0].Name = "src"
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "n0 -> n1", "rankdir=LR", "src", "(1,1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDefaultName(t *testing.T) {
+	var sb strings.Builder
+	if err := Primitive(1, 1, 1).WriteDOT(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"spg"`) {
+		t.Error("default graph name missing")
+	}
+}

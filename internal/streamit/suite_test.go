@@ -1,0 +1,115 @@
+package streamit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"spgcmp/internal/spg"
+)
+
+// TestTable1Characteristics: every synthesized workflow must reproduce its
+// Table 1 row exactly — size, elevation, depth and CCR.
+func TestTable1Characteristics(t *testing.T) {
+	for _, a := range Suite() {
+		g, err := a.Graph()
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if g.N() != a.N {
+			t.Errorf("%s: n = %d, want %d", a.Name, g.N(), a.N)
+		}
+		if g.Elevation() != a.YMax {
+			t.Errorf("%s: ymax = %d, want %d", a.Name, g.Elevation(), a.YMax)
+		}
+		if g.Depth() != a.XMax {
+			t.Errorf("%s: xmax = %d, want %d", a.Name, g.Depth(), a.XMax)
+		}
+		if ccr := spg.CCR(g); math.Abs(ccr-a.CCR)/a.CCR > 1e-9 {
+			t.Errorf("%s: CCR = %g, want %g", a.Name, ccr, a.CCR)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid SPG: %v", a.Name, err)
+		}
+	}
+}
+
+func TestSuiteSize(t *testing.T) {
+	if len(Suite()) != 12 {
+		t.Fatalf("suite has %d workflows, want 12", len(Suite()))
+	}
+}
+
+func TestGraphDeterministic(t *testing.T) {
+	a := Suite()[4] // Vocoder
+	g1, err := a.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := a.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.N() != g2.N() || g1.M() != g2.M() {
+		t.Fatal("structure not deterministic")
+	}
+	for i := range g1.Stages {
+		if g1.Stages[i].Weight != g2.Stages[i].Weight {
+			t.Fatalf("stage %d weight differs", i)
+		}
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i].Volume != g2.Edges[i].Volume {
+			t.Fatalf("edge %d volume differs", i)
+		}
+	}
+}
+
+func TestGraphWithCCRRescales(t *testing.T) {
+	for _, target := range []float64{10, 1, 0.1} {
+		a := Suite()[0]
+		g, err := a.GraphWithCCR(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ccr := spg.CCR(g); math.Abs(ccr-target)/target > 1e-9 {
+			t.Errorf("CCR = %g, want %g", ccr, target)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("Serpent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Index != 11 || a.N != 120 {
+		t.Errorf("Serpent lookup wrong: %+v", a)
+	}
+	if _, err := ByName("NoSuchApp"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+// TestSuiteStreamItGraphsAreSeriesParallel verifies the synthesized shapes
+// are genuine SPGs.
+func TestSuiteStreamItGraphsAreSeriesParallel(t *testing.T) {
+	for _, a := range Suite() {
+		g, err := a.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !spg.IsSeriesParallel(g) {
+			t.Errorf("%s: not series-parallel", a.Name)
+		}
+	}
+}
+
+func TestTableRowFormat(t *testing.T) {
+	row := Suite()[0].TableRow()
+	for _, want := range []string{"Beamformer", "57", "12", "537"} {
+		if !strings.Contains(row, want) {
+			t.Errorf("TableRow missing %q: %s", want, row)
+		}
+	}
+}

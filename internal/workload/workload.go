@@ -1,0 +1,154 @@
+// Package workload resolves textual workload specifications shared by the
+// command-line tools:
+//
+//	streamit:<Name>            one of the 12 Table 1 workflows
+//	random:n=50,elev=8,seed=1  a random SPG (randspg)
+//	chain:n=10,seed=1          a linear chain
+//	file:<path>                a JSON graph written by spggen / Graph.WriteJSON
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"spgcmp/internal/randspg"
+	"spgcmp/internal/spg"
+	"spgcmp/internal/streamit"
+)
+
+// Load resolves a workload spec. ccr > 0 rescales the communication volumes
+// after loading.
+func Load(spec string, ccr float64) (*spg.Graph, error) {
+	kind, rest, found := strings.Cut(spec, ":")
+	if !found {
+		return nil, fmt.Errorf("workload: spec %q must look like kind:args (streamit:, random:, chain:, file:)", spec)
+	}
+	var g *spg.Graph
+	var err error
+	switch kind {
+	case "streamit":
+		var app streamit.App
+		app, err = streamit.ByName(rest)
+		if err == nil {
+			g, err = app.Graph()
+		}
+	case "random":
+		g, err = loadRandom(rest)
+	case "chain":
+		g, err = loadChain(rest)
+	case "file":
+		g, err = loadFile(rest)
+	default:
+		err = fmt.Errorf("workload: unknown kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ccr > 0 {
+		spg.ScaleToCCR(g, ccr)
+	}
+	return g, nil
+}
+
+func parseKV(args string) (map[string]string, error) {
+	kv := make(map[string]string)
+	if args == "" {
+		return kv, nil
+	}
+	for _, part := range strings.Split(args, ",") {
+		k, v, found := strings.Cut(part, "=")
+		if !found {
+			return nil, fmt.Errorf("workload: bad argument %q (want key=value)", part)
+		}
+		kv[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return kv, nil
+}
+
+func intArg(kv map[string]string, key string, def int) (int, error) {
+	v, ok := kv[key]
+	if !ok {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func loadRandom(args string) (*spg.Graph, error) {
+	kv, err := parseKV(args)
+	if err != nil {
+		return nil, err
+	}
+	n, err := intArg(kv, "n", 50)
+	if err != nil {
+		return nil, err
+	}
+	elev, err := intArg(kv, "elev", 5)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := intArg(kv, "seed", 1)
+	if err != nil {
+		return nil, err
+	}
+	return randspg.Generate(randspg.Params{N: n, Elevation: elev, Seed: int64(seed)})
+}
+
+func loadChain(args string) (*spg.Graph, error) {
+	kv, err := parseKV(args)
+	if err != nil {
+		return nil, err
+	}
+	n, err := intArg(kv, "n", 10)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := intArg(kv, "seed", 1)
+	if err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("workload: chain needs n >= 2")
+	}
+	w := make([]float64, n)
+	v := make([]float64, n-1)
+	g, err := spg.Chain(w, v)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	spg.RandomizeWeights(g, rng, 0.01, 0.1)
+	spg.RandomizeVolumes(g, rng, 0.5, 1.5)
+	return g, nil
+}
+
+func loadFile(path string) (*spg.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return spg.ReadJSON(f)
+}
+
+// ParseGrid parses "4x4" into (4, 4).
+func ParseGrid(s string) (p, q int, err error) {
+	a, b, found := strings.Cut(s, "x")
+	if !found {
+		return 0, 0, fmt.Errorf("workload: grid %q must look like PxQ", s)
+	}
+	p, err = strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	q, err = strconv.Atoi(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	if p < 1 || q < 1 {
+		return 0, 0, fmt.Errorf("workload: grid %dx%d out of range", p, q)
+	}
+	return p, q, nil
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadStreamIt(t *testing.T) {
+	g, err := Load("streamit:DCT", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 || g.Elevation() != 1 {
+		t.Errorf("DCT: n=%d ymax=%d", g.N(), g.Elevation())
+	}
+}
+
+func TestLoadRandom(t *testing.T) {
+	g, err := Load("random:n=30,elev=4,seed=9", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 30 || g.Elevation() != 4 {
+		t.Errorf("random: n=%d ymax=%d", g.N(), g.Elevation())
+	}
+}
+
+func TestLoadRandomDefaults(t *testing.T) {
+	g, err := Load("random:", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 50 || g.Elevation() != 5 {
+		t.Errorf("defaults: n=%d ymax=%d", g.N(), g.Elevation())
+	}
+}
+
+func TestLoadChain(t *testing.T) {
+	g, err := Load("chain:n=7,seed=2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 7 || g.Elevation() != 1 {
+		t.Errorf("chain: n=%d ymax=%d", g.N(), g.Elevation())
+	}
+}
+
+func TestLoadWithCCR(t *testing.T) {
+	g, err := Load("chain:n=7,seed=2", 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := g.TotalWork() / g.TotalVolume()
+	if ratio < 2.49 || ratio > 2.51 {
+		t.Errorf("CCR = %g, want 2.5", ratio)
+	}
+}
+
+func TestLoadFileRoundTrip(t *testing.T) {
+	g, err := Load("random:n=12,elev=3,seed=4", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g2, err := Load("file:"+path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Errorf("round trip lost structure: %v vs %v", g2, g)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"nocolon",
+		"unknown:x",
+		"streamit:NoSuchApp",
+		"random:n=abc",
+		"random:badpair",
+		"chain:n=1",
+		"file:/does/not/exist.json",
+	}
+	for _, spec := range cases {
+		if _, err := Load(spec, 0); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	p, q, err := ParseGrid("4x6")
+	if err != nil || p != 4 || q != 6 {
+		t.Errorf("ParseGrid(4x6) = %d,%d,%v", p, q, err)
+	}
+	for _, bad := range []string{"4", "x4", "4x", "0x4", "axb"} {
+		if _, _, err := ParseGrid(bad); err == nil {
+			t.Errorf("grid %q accepted", bad)
+		}
+	}
+}
+
+func TestLoadErrorMentionsSpec(t *testing.T) {
+	_, err := Load("bogus", 0)
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error %v does not mention the spec", err)
+	}
+}
