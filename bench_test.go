@@ -15,6 +15,7 @@ import (
 	"spgcmp/internal/platform"
 	"spgcmp/internal/randspg"
 	"spgcmp/internal/sim"
+	"spgcmp/internal/spg"
 	"spgcmp/internal/streamit"
 )
 
@@ -136,6 +137,160 @@ func BenchmarkTable3RandomFailures(b *testing.B) {
 	}
 }
 
+// --- Period-selection protocol: shared analysis cache vs naive rebuild ---
+
+// selectPeriodWorkload is the workload the SelectPeriod benchmarks run: DES
+// at CCR 1 with stage weights and volumes scaled down 100x — a fine-grained
+// variant whose stages fit sub-10ms periods, so the protocol performs ~5
+// divisions instead of 1-2. More divisions is exactly where the shared
+// analysis cache compounds: every structure built at the first period is
+// reused at each subsequent one.
+func selectPeriodWorkload(b *testing.B) *spg.Graph {
+	b.Helper()
+	a, err := streamit.ByName("DES")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := a.GraphWithCCR(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fine := g.Clone()
+	for i := range fine.Stages {
+		fine.Stages[i].Weight /= 100
+	}
+	for i := range fine.Edges {
+		fine.Edges[i].Volume /= 100
+	}
+	return fine
+}
+
+// BenchmarkSelectPeriod measures the Section 6.1.3 protocol as shipped: one
+// analysis cache per workload, shared across all heuristics and all period
+// divisions.
+func BenchmarkSelectPeriod(b *testing.B) {
+	g := selectPeriodWorkload(b)
+	pl := platform.XScale(4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.SelectPeriod(g, pl, 1)
+	}
+}
+
+// BenchmarkSelectPeriodUncached replicates the protocol without the shared
+// cache — a fresh cache-free instance per (heuristic, period) call, which is
+// what every Solve did before the analysis cache existed. The ratio to
+// BenchmarkSelectPeriod is the cache's speedup.
+func BenchmarkSelectPeriodUncached(b *testing.B) {
+	g := selectPeriodWorkload(b)
+	pl := platform.XScale(4, 4)
+	runAllFresh := func(T float64) bool {
+		any := false
+		for _, h := range core.AllWith(core.Options{Seed: 1, DPA1DMaxStates: 60_000}) {
+			if _, err := h.Solve(core.Instance{Graph: g, Platform: pl, Period: T}); err == nil {
+				any = true
+			}
+		}
+		return any
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		T := 1.0
+		if !runAllFresh(T) {
+			continue
+		}
+		for d := 0; d < 9; d++ {
+			if !runAllFresh(T / 10) {
+				break
+			}
+			T /= 10
+		}
+	}
+}
+
+// --- Per-structure micro-benchmarks: fresh build vs cached reuse ---
+
+func analysisBenchGraph(b *testing.B) *spg.Graph {
+	b.Helper()
+	a, err := streamit.ByName("FMRadio")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := a.GraphWithCCR(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkAnalysisValidateFresh(b *testing.B) {
+	g := analysisBenchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalysisValidateCached(b *testing.B) {
+	an := spg.NewAnalysis(analysisBenchGraph(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := an.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalysisReachabilityFresh(b *testing.B) {
+	g := analysisBenchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = spg.NewReachability(g)
+	}
+}
+
+func BenchmarkAnalysisReachabilityCached(b *testing.B) {
+	an := spg.NewAnalysis(analysisBenchGraph(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = an.Reachability()
+	}
+}
+
+// BenchmarkDownsetExpansionsFresh builds the full downset space of a 30-stage
+// chain from scratch every iteration; ...Warmed re-enumerates on a shared
+// space (one budget epoch per iteration), the DPA1D-across-periods pattern.
+func BenchmarkDownsetExpansionsFresh(b *testing.B) {
+	inst := chainInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := spg.NewDownsetSpace(inst.Graph, 150_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ds.Expansions(ds.EmptyID(), inst.Period*inst.Platform.MaxSpeed()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDownsetExpansionsWarmed(b *testing.B) {
+	inst := chainInstance(b)
+	ds, err := spg.NewDownsetSpace(inst.Graph, 150_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds.BeginRun()
+		if _, err := ds.Expansions(ds.EmptyID(), inst.Period*inst.Platform.MaxSpeed()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Per-heuristic micro-benchmarks on representative instances ---
 
 func benchHeuristic(b *testing.B, h core.Heuristic, inst core.Instance) {
@@ -187,6 +342,17 @@ func BenchmarkHeuristicDPA2D1DFMRadio(b *testing.B) {
 
 func BenchmarkHeuristicDPA1DChain30(b *testing.B) {
 	benchHeuristic(b, core.NewDPA1D(), chainInstance(b))
+}
+
+// The ...Shared variants attach one analysis cache outside the loop, so each
+// iteration reuses the precomputed graph structures — the per-heuristic view
+// of the SelectPeriod speedup.
+func BenchmarkHeuristicDPA2DFMRadioShared(b *testing.B) {
+	benchHeuristic(b, core.NewDPA2D(), fmRadioInstance(b).Analyzed())
+}
+
+func BenchmarkHeuristicDPA1DChain30Shared(b *testing.B) {
+	benchHeuristic(b, core.NewDPA1D(), chainInstance(b).Analyzed())
 }
 
 func BenchmarkHeuristicDPA2D1DChain30(b *testing.B) {

@@ -48,8 +48,10 @@ func main() {
 	fatalIf(err)
 	pl := platform.XScale(p, q)
 
+	// One analysis cache serves the summary line and every heuristic run.
+	an := spg.NewAnalysis(g)
 	fmt.Printf("Workload %s: n=%d stages, %d edges, ymax=%d, xmax=%d, CCR=%.3g\n",
-		*spec, g.N(), g.M(), g.Elevation(), g.Depth(), spg.CCR(g))
+		*spec, g.N(), g.M(), an.Elevation(), an.Depth(), an.CCR())
 	fmt.Printf("Platform: %dx%d XScale grid, speeds %v GHz, BW %.3g GB/s\n", p, q, pl.Speeds, pl.BW)
 
 	T := *period
@@ -64,7 +66,7 @@ func main() {
 	}
 	fmt.Printf("Period bound: T = %g s (link capacity %.3g GB/period)\n\n", T, pl.LinkCapacity(T))
 
-	inst := core.Instance{Graph: g, Platform: pl, Period: T}
+	inst := core.Instance{Graph: g, Platform: pl, Period: T, Analysis: an}
 	var best *core.Solution
 	for _, h := range pickHeuristics(*heuristic, *seed) {
 		sol, err := h.Solve(inst)

@@ -6,7 +6,8 @@
 //
 // The implementation lives in internal packages:
 //
-//	internal/spg         series-parallel graphs, composition, labels, downsets
+//	internal/spg         series-parallel graphs, composition, labels, downsets,
+//	                     and the shared per-graph Analysis cache
 //	internal/platform    CMP grid, XScale DVFS model, XY routing, snake embedding
 //	internal/mapping     DAG-partition mappings, period and energy evaluation
 //	internal/core        the five heuristics: Random, Greedy, DPA2D, DPA1D, DPA2D1D
@@ -15,6 +16,22 @@
 //	internal/streamit    the 12 StreamIt workflows of Table 1
 //	internal/randspg     random SPG generation with exact elevation
 //	internal/experiments the Section 6 evaluation campaigns
+//
+// # The analysis cache
+//
+// Everything a heuristic derives from the workflow alone — validation,
+// transitive closure, elevation levels, label grids and prefix sums, DPA2D
+// band contexts with rectangle-convexity verdicts, and the interned DPA1D
+// downset space — is period- and platform-independent. spg.Analysis computes
+// each structure lazily, memoizes it under a lock, and is threaded through
+// core.Instance: core.NewInstance attaches a cache, Instance.WithPeriod
+// re-solves at a new bound without re-analyzing, and every Solve falls back
+// to a private cache when none is attached. The Section 6.1.3 period
+// protocol (experiments.SelectPeriod) builds one Analysis per workload and
+// reuses it across all five heuristics and every period division;
+// BenchmarkSelectPeriod vs BenchmarkSelectPeriodUncached quantifies the
+// speedup, and the cache-equivalence tests prove bit-identical energies with
+// and without the cache on the full StreamIt suite.
 //
 // Executables: cmd/spgmap (map one workload), cmd/experiments (regenerate
 // every table and figure), cmd/spggen (emit workloads), cmd/ilpgen (emit the

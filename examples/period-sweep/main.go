@@ -27,11 +27,14 @@ func main() {
 	fmt.Printf("%-10s  %-8s  %-12s  %-7s  %-14s\n",
 		"T (s)", "winner", "energy (J)", "cores", "simulated T(s)")
 
+	// One analysis cache serves the whole sweep: every heuristic at every
+	// period reuses the same validation, reachability, band and downset
+	// structures.
+	inst := core.NewInstance(g, pl, 1)
 	for _, T := range []float64{2, 1, 0.5, 0.25, 0.12, 0.06, 0.03} {
-		inst := core.Instance{Graph: g, Platform: pl, Period: T}
 		var best *core.Solution
 		for _, h := range core.All(1) {
-			sol, err := h.Solve(inst)
+			sol, err := h.Solve(inst.WithPeriod(T))
 			if err != nil {
 				continue
 			}

@@ -1,0 +1,3 @@
+module spgcmp
+
+go 1.24

@@ -6,6 +6,7 @@ import (
 
 	"spgcmp/internal/mapping"
 	"spgcmp/internal/platform"
+	"spgcmp/internal/spg"
 )
 
 // TestDPA2DPredictionMatchesEvaluator: plan energy from the DP must equal the
@@ -15,8 +16,9 @@ func TestDPA2DPredictionMatchesEvaluator(t *testing.T) {
 	okCount, rejected := 0, 0
 	for seed := int64(0); seed < 40; seed++ {
 		g := testRandomSPG(t, seed, 40, 1)
+		an := spg.NewAnalysis(g)
 		for _, T := range []float64{1, 0.3, 0.1} {
-			plan, err := solve2D(g, pl, T)
+			plan, err := solve2D(an, pl, T)
 			if err != nil {
 				continue
 			}

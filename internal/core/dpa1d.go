@@ -41,11 +41,29 @@ var ErrBudget = errors.New("state budget exhausted")
 
 // Solve implements Heuristic.
 func (h *DPA1D) Solve(inst Instance) (*Solution, error) {
+	inst = inst.Analyzed()
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
-	chunks, err := solve1D(inst, h.MaxStates, h.MaxTransitions)
+	ds, err := inst.Analysis.DownsetSpace(h.MaxStates)
 	if err != nil {
+		return nil, fmt.Errorf("%w: %v (%w)", ErrNoSolution, err, ErrBudget)
+	}
+	// The space may be shared through the analysis cache: take the run lock
+	// so concurrent Solves serialize instead of invalidating each other's
+	// run indices, then open one budget epoch — a space warmed by earlier
+	// periods fails (or succeeds) exactly where a freshly built one would.
+	ds.LockRun()
+	defer ds.UnlockRun()
+	ds.BeginRun()
+	chunks, err := solve1D(inst, ds, h.MaxTransitions)
+	if err != nil {
+		if errors.Is(err, ErrBudget) {
+			// A partially enumerated space is dead weight for future runs;
+			// drop it so the next period starts from a fresh space, exactly
+			// like the uncached path.
+			inst.Analysis.EvictDownsetSpace(h.MaxStates, ds)
+		}
 		return nil, err
 	}
 	return finishSnake(h.Name(), inst, chunks)
@@ -53,13 +71,9 @@ func (h *DPA1D) Solve(inst Instance) (*Solution, error) {
 
 // solve1D runs the Theorem 1 DP on a uni-directional chain of
 // pl.NumCores() processors and returns the optimal chunk sequence.
-func solve1D(inst Instance, maxStates, maxTransitions int) ([][]int, error) {
-	g, pl, T := inst.Graph, inst.Platform, inst.Period
+func solve1D(inst Instance, ds *spg.DownsetSpace, maxTransitions int) ([][]int, error) {
+	pl, T := inst.Platform, inst.Period
 	r := pl.NumCores()
-	ds, err := spg.NewDownsetSpace(g, maxStates)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v (%v)", ErrNoSolution, err, ErrBudget)
-	}
 	maxChunk := T * pl.MaxSpeed()
 	linkCap := pl.LinkCapacity(T)
 
@@ -93,23 +107,74 @@ func solve1D(inst Instance, maxStates, maxTransitions int) ([][]int, error) {
 		}
 	}
 
-	full := ds.FullID()
+	// The DP is keyed by run indices (per-epoch touch order: empty = 0,
+	// full = 1), not by global downset ids: run indices are dense — sized by
+	// this run's states even when the shared space holds leftovers from
+	// earlier periods — and identical between fresh and warmed spaces, so
+	// tables, iteration order and floating-point tie-breaking never depend on
+	// interning history.
+	const empty, full = 0, 1
 	transitions := 0
+
+	// A state's expansion list, chunk energies and outgoing cut are the same
+	// in every layer, so they are fetched and evaluated once per state and
+	// replayed as pure array math in the remaining r-1 layers. runStates
+	// shadows ds.RunCount() locally: it only grows when an expansion list is
+	// first built (memoized replays touch nothing new), so the hot loop
+	// never takes the space's mutex for already-expanded states.
+	type stateExp struct {
+		exps  []spg.Expansion
+		chunk []float64 // chunkEnergy per expansion
+		commE float64   // cut * EnergyPerGB
+	}
+	memo := []*stateExp{}
+	cuts := []float64{} // per run index; negative = not yet computed
+	runStates := ds.RunCount()
+	growState := func(id int) {
+		for len(memo) <= id {
+			memo = append(memo, nil)
+			cuts = append(cuts, -1)
+		}
+	}
+	cutOf := func(id int) float64 {
+		growState(id)
+		if cuts[id] < 0 {
+			cuts[id] = ds.CoutRun(id)
+		}
+		return cuts[id]
+	}
+	expand := func(id int) (*stateExp, error) {
+		growState(id)
+		if memo[id] != nil {
+			return memo[id], nil
+		}
+		exps, err := ds.ExpansionsInRun(id, maxChunk)
+		if err != nil {
+			return nil, err
+		}
+		se := &stateExp{exps: exps, chunk: make([]float64, len(exps))}
+		for j, ex := range exps {
+			se.chunk[j] = chunkEnergy(ex.ChunkWork)
+		}
+		se.commE = cutOf(id) * pl.EnergyPerGB
+		memo[id] = se
+		runStates = ds.RunCount()
+		return se, nil
+	}
 
 	// Layer k holds E(D, k): minimal energy to run downset D on exactly the
 	// first k processors of the chain.
-	prev := newLayer(ds.NumStates())
-	exps, err := ds.Expansions(ds.EmptyID(), maxChunk)
+	prev := newLayer(runStates)
+	first, err := expand(empty)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v (%v)", ErrNoSolution, err, ErrBudget)
+		return nil, fmt.Errorf("%w: %v (%w)", ErrNoSolution, err, ErrBudget)
 	}
-	transitions += len(exps)
-	grow(prev, ds.NumStates())
-	for _, ex := range exps {
-		e := chunkEnergy(ex.ChunkWork)
-		if e < prev.energy[ex.To] {
+	transitions += len(first.exps)
+	grow(prev, runStates)
+	for j, ex := range first.exps {
+		if e := first.chunk[j]; e < prev.energy[ex.To] {
 			prev.energy[ex.To] = e
-			prev.parent[ex.To] = int32(ds.EmptyID())
+			prev.parent[ex.To] = int32(empty)
 		}
 	}
 
@@ -122,30 +187,31 @@ func solve1D(inst Instance, maxStates, maxTransitions int) ([][]int, error) {
 	}
 
 	for k := 2; k <= r; k++ {
-		cur := newLayer(ds.NumStates())
+		cur := newLayer(runStates)
 		progress := false
 		for id := 0; id < len(prev.energy); id++ {
 			base := prev.energy[id]
 			if math.IsInf(base, 1) || id == full {
 				continue
 			}
-			cut := ds.Cout(id)
-			if cut > linkCap {
+			// The cut check comes first, as in the Theorem 1 statement: an
+			// over-capacity state is never expanded, so it charges neither
+			// the state nor the transition budget.
+			if cutOf(id) > linkCap {
 				continue // the link between cores k-1 and k would overflow
 			}
-			commE := cut * pl.EnergyPerGB
-			exps, err := ds.Expansions(id, maxChunk)
+			se, err := expand(id)
 			if err != nil {
-				return nil, fmt.Errorf("%w: %v (%v)", ErrNoSolution, err, ErrBudget)
+				return nil, fmt.Errorf("%w: %v (%w)", ErrNoSolution, err, ErrBudget)
 			}
-			transitions += len(exps)
+			transitions += len(se.exps)
 			if transitions > maxTransitions {
-				return nil, fmt.Errorf("%w: transition budget exceeded (%v)", ErrNoSolution, ErrBudget)
+				return nil, fmt.Errorf("%w: transition budget exceeded (%w)", ErrNoSolution, ErrBudget)
 			}
-			grow(cur, ds.NumStates())
-			grow(prev, ds.NumStates())
-			for _, ex := range exps {
-				cand := base + commE + chunkEnergy(ex.ChunkWork)
+			grow(cur, runStates)
+			grow(prev, runStates)
+			for j, ex := range se.exps {
+				cand := base + se.commE + se.chunk[j]
 				if cand < cur.energy[ex.To] {
 					cur.energy[ex.To] = cand
 					cur.parent[ex.To] = int32(id)
@@ -154,7 +220,7 @@ func solve1D(inst Instance, maxStates, maxTransitions int) ([][]int, error) {
 			}
 		}
 		layers = append(layers, cur)
-		grow(cur, ds.NumStates())
+		grow(cur, runStates)
 		if cur.energy[full] < bestEnergy {
 			bestEnergy = cur.energy[full]
 			bestK = k
@@ -169,12 +235,13 @@ func solve1D(inst Instance, maxStates, maxTransitions int) ([][]int, error) {
 		return nil, ErrNoSolution
 	}
 
-	// Reconstruct the chunk of each processor, in chain order.
+	// Reconstruct the chunk of each processor, in chain order (run indices
+	// translate back to downset ids for the membership diff).
 	chunks := make([][]int, bestK)
 	id := full
 	for k := bestK; k >= 1; k-- {
 		p := int(layers[k].parent[id])
-		chunks[k-1] = ds.Diff(p, id)
+		chunks[k-1] = ds.Diff(ds.RunID(p), ds.RunID(id))
 		id = p
 	}
 	return chunks, nil

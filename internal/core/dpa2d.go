@@ -42,6 +42,7 @@ func (h *DPA2D) Name() string {
 
 // Solve implements Heuristic.
 func (h *DPA2D) Solve(inst Instance) (*Solution, error) {
+	inst = inst.Analyzed()
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,7 +55,7 @@ func (h *DPA2D) Solve(inst Instance) (*Solution, error) {
 			BW: inst.Platform.BW, EnergyPerGB: inst.Platform.EnergyPerGB,
 		}
 	}
-	plan, err := solve2D(inst.Graph, pl, inst.Period)
+	plan, err := solve2D(inst.Analysis, pl, inst.Period)
 	if err != nil {
 		return nil, err
 	}
@@ -144,76 +145,43 @@ func rowCore(cuts []int, y int) int {
 }
 
 // engine2D holds the state shared by the outer and inner dynamic programs.
+// The period-independent graph analysis (prefix sums, topological order,
+// band contexts) comes from the shared spg.Analysis; the engine owns only
+// the period- and platform-dependent state (capacities and the per-band
+// rectangle-energy caches).
 type engine2D struct {
 	g  *spg.Graph
+	an *spg.Analysis
 	pl *platform.Platform
 	T  float64
 
 	xmax, ymax int
-	words      int // uint64 words of a y bitmask
 
 	wPrefix [][]float64 // (xmax+1) x (ymax+1) weight prefix sums over labels
 	cPrefix [][]int     // same for stage counts
-	topo    []int
 
 	capL    float64 // link capacity per period, GB
 	maxWork float64 // T * s_max, the largest per-core work
 
-	bands map[int]*bandCtx
+	// ecal caches, per band key m1*(xmax+1)+m2, the per-rectangle core
+	// energy: index r1*(ymax+2)+r2 for label rows [r1..r2]; NaN marks an
+	// uncomputed entry, +Inf an infeasible or non-convex rectangle. Unlike
+	// the band analysis itself, these depend on the period, so they live in
+	// the engine rather than in the shared Analysis.
+	ecal [][]float64
 }
 
-// bandCtx caches the D'-independent analysis of one band of x levels.
-type bandCtx struct {
-	m1, m2 int
-
-	internal []int // edge indices with both endpoints in the band
-	outgoing []int // edge indices with source in the band, destination beyond
-
-	// upInt[gp] (downInt[gp]) is the volume of internal edges crossing the
-	// row boundary gp upwards (downwards): y_src <= gp < y_dst (resp.
-	// y_dst <= gp < y_src).
-	upInt, downInt []float64
-
-	// anc[i], desc[i] are the y bitmasks of the band-internal ancestors and
-	// descendants of band node i (indexed by local node position).
-	nodes []int
-	local map[int]int
-	anc   [][]uint64
-	desc  [][]uint64
-
-	// ecal caches the per-rectangle core energy: index r1*(ymax+2)+r2 for
-	// label rows [r1..r2]; NaN marks an uncomputed entry, +Inf an infeasible
-	// or non-convex rectangle.
-	ecal []float64
-}
-
-func newEngine2D(g *spg.Graph, pl *platform.Platform, T float64) *engine2D {
-	xmax, ymax := g.Depth(), g.Elevation()
+func newEngine2D(an *spg.Analysis, pl *platform.Platform, T float64) *engine2D {
+	g := an.Graph()
+	xmax, ymax := an.Depth(), an.Elevation()
 	e := &engine2D{
-		g: g, pl: pl, T: T,
+		g: g, an: an, pl: pl, T: T,
 		xmax: xmax, ymax: ymax,
-		words:   (ymax + 63) / 64,
 		capL:    pl.LinkCapacity(T),
 		maxWork: T * pl.MaxSpeed(),
-		bands:   make(map[int]*bandCtx),
+		ecal:    make([][]float64, (xmax+1)*(xmax+1)),
 	}
-	e.wPrefix = make([][]float64, xmax+1)
-	e.cPrefix = make([][]int, xmax+1)
-	for x := 0; x <= xmax; x++ {
-		e.wPrefix[x] = make([]float64, ymax+1)
-		e.cPrefix[x] = make([]int, ymax+1)
-	}
-	for _, s := range g.Stages {
-		e.wPrefix[s.Label.X][s.Label.Y] += s.Weight
-		e.cPrefix[s.Label.X][s.Label.Y]++
-	}
-	for x := 1; x <= xmax; x++ {
-		for y := 1; y <= ymax; y++ {
-			e.wPrefix[x][y] += e.wPrefix[x-1][y] + e.wPrefix[x][y-1] - e.wPrefix[x-1][y-1]
-			e.cPrefix[x][y] += e.cPrefix[x-1][y] + e.cPrefix[x][y-1] - e.cPrefix[x-1][y-1]
-		}
-	}
-	e.topo, _ = g.TopoOrder()
+	e.wPrefix, e.cPrefix = an.LabelPrefixSums()
 	return e
 }
 
@@ -227,152 +195,55 @@ func (e *engine2D) rectCount(m1, m2, r1, r2 int) int {
 	return e.cPrefix[m2][r2] - e.cPrefix[m1-1][r2] - e.cPrefix[m2][r1-1] + e.cPrefix[m1-1][r1-1]
 }
 
-// band returns (building and caching on first use) the analysis context of
-// the band of x levels [m1..m2].
-func (e *engine2D) band(m1, m2 int) *bandCtx {
-	key := m1*(e.xmax+1) + m2
-	if b, ok := e.bands[key]; ok {
-		return b
+// band returns the (shared, memoized) analysis context of the band of x
+// levels [m1..m2].
+func (e *engine2D) band(m1, m2 int) *spg.Band {
+	return e.an.Band(m1, m2)
+}
+
+// bandEcal returns the engine's rectangle-energy cache for band b, creating
+// it on first use.
+func (e *engine2D) bandEcal(b *spg.Band) []float64 {
+	key := b.M1*(e.xmax+1) + b.M2
+	if ec := e.ecal[key]; ec != nil {
+		return ec
 	}
-	b := &bandCtx{
-		m1: m1, m2: m2,
-		upInt:   make([]float64, e.ymax+1),
-		downInt: make([]float64, e.ymax+1),
-		local:   make(map[int]int),
-		ecal:    make([]float64, (e.ymax+2)*(e.ymax+2)),
+	ec := make([]float64, (e.ymax+2)*(e.ymax+2))
+	for i := range ec {
+		ec[i] = math.NaN()
 	}
-	for i := range b.ecal {
-		b.ecal[i] = math.NaN()
-	}
-	inBand := func(s int) bool {
-		x := e.g.Stages[s].Label.X
-		return x >= m1 && x <= m2
-	}
-	for _, s := range e.topo {
-		if inBand(s) {
-			b.local[s] = len(b.nodes)
-			b.nodes = append(b.nodes, s)
-		}
-	}
-	// Difference arrays for the per-boundary internal crossing volumes.
-	upDiff := make([]float64, e.ymax+2)
-	downDiff := make([]float64, e.ymax+2)
-	for ei, edge := range e.g.Edges {
-		srcIn, dstIn := inBand(edge.Src), inBand(edge.Dst)
-		switch {
-		case srcIn && dstIn:
-			b.internal = append(b.internal, ei)
-			ys, yd := e.g.Stages[edge.Src].Label.Y, e.g.Stages[edge.Dst].Label.Y
-			if ys < yd {
-				upDiff[ys] += edge.Volume
-				upDiff[yd] -= edge.Volume
-			} else if yd < ys {
-				downDiff[yd] += edge.Volume
-				downDiff[ys] -= edge.Volume
-			}
-		case srcIn && e.g.Stages[edge.Dst].Label.X > m2:
-			b.outgoing = append(b.outgoing, ei)
-		}
-	}
-	var up, down float64
-	for gp := 0; gp <= e.ymax; gp++ {
-		up += upDiff[gp]
-		down += downDiff[gp]
-		b.upInt[gp] = up
-		b.downInt[gp] = down
-	}
-	// Band-internal ancestor/descendant y masks. Any dependence path between
-	// two band stages stays inside the band (x is strictly increasing along
-	// edges), so band-local reachability suffices for rectangle convexity.
-	nb := len(b.nodes)
-	b.anc = make([][]uint64, nb)
-	b.desc = make([][]uint64, nb)
-	masks := make([]uint64, 2*nb*e.words)
-	for i := 0; i < nb; i++ {
-		b.anc[i], masks = masks[:e.words], masks[e.words:]
-		b.desc[i], masks = masks[:e.words], masks[e.words:]
-	}
-	// Propagate in topological (node list) order.
-	for li, s := range b.nodes {
-		for _, ei := range e.g.OutEdges(s) {
-			edge := e.g.Edges[ei]
-			ld, ok := b.local[edge.Dst]
-			if !ok {
-				continue
-			}
-			y := e.g.Stages[s].Label.Y - 1
-			b.anc[ld][y/64] |= 1 << uint(y%64)
-			for w := 0; w < e.words; w++ {
-				b.anc[ld][w] |= b.anc[li][w]
-			}
-		}
-	}
-	for li := nb - 1; li >= 0; li-- {
-		s := b.nodes[li]
-		for _, ei := range e.g.OutEdges(s) {
-			edge := e.g.Edges[ei]
-			ld, ok := b.local[edge.Dst]
-			if !ok {
-				continue
-			}
-			y := e.g.Stages[edge.Dst].Label.Y - 1
-			b.desc[li][y/64] |= 1 << uint(y%64)
-			for w := 0; w < e.words; w++ {
-				b.desc[li][w] |= b.desc[ld][w]
-			}
-		}
-	}
-	e.bands[key] = b
-	return b
+	e.ecal[key] = ec
+	return ec
 }
 
 // ecalRect returns the optimal core energy for executing the band stages
 // with rows in [r1..r2] on one core: leakage plus dynamic energy at the
 // slowest feasible speed; 0 for an empty rectangle; +Inf when the period
 // cannot be met or the rectangle is not convex (Section 5.3 sets such
-// entries to +Inf).
-func (e *engine2D) ecalRect(b *bandCtx, r1, r2 int) float64 {
+// entries to +Inf). ec is the band's cache from bandEcal.
+func (e *engine2D) ecalRect(b *spg.Band, ec []float64, r1, r2 int) float64 {
 	idx := r1*(e.ymax+2) + r2
-	if v := b.ecal[idx]; !math.IsNaN(v) {
+	if v := ec[idx]; !math.IsNaN(v) {
 		return v
 	}
 	v := e.computeEcal(b, r1, r2)
-	b.ecal[idx] = v
+	ec[idx] = v
 	return v
 }
 
-func (e *engine2D) computeEcal(b *bandCtx, r1, r2 int) float64 {
-	if e.rectCount(b.m1, b.m2, r1, r2) == 0 {
+func (e *engine2D) computeEcal(b *spg.Band, r1, r2 int) float64 {
+	if e.rectCount(b.M1, b.M2, r1, r2) == 0 {
 		return 0
 	}
-	work := e.rectWork(b.m1, b.m2, r1, r2)
+	work := e.rectWork(b.M1, b.M2, r1, r2)
 	_, sIdx, ok := e.pl.MinFeasibleSpeed(work, e.T)
 	if !ok {
 		return math.Inf(1)
 	}
-	// Convexity: no band stage outside rows [r1..r2] may have both an
-	// ancestor and a descendant inside them.
-	mask := make([]uint64, e.words)
-	for y := r1 - 1; y <= r2-1; y++ {
-		mask[y/64] |= 1 << uint(y%64)
-	}
-	for li, s := range b.nodes {
-		y := e.g.Stages[s].Label.Y
-		if y >= r1 && y <= r2 {
-			continue
-		}
-		var hasAnc, hasDesc bool
-		for w := 0; w < e.words; w++ {
-			if b.anc[li][w]&mask[w] != 0 {
-				hasAnc = true
-			}
-			if b.desc[li][w]&mask[w] != 0 {
-				hasDesc = true
-			}
-		}
-		if hasAnc && hasDesc {
-			return math.Inf(1)
-		}
+	// Convexity is graph-only, so the verdict is memoized in the shared band
+	// rather than recomputed per period.
+	if !b.RowsConvex(r1, r2) {
+		return math.Inf(1)
 	}
 	return e.pl.CoreEnergy(work, e.T, sIdx)
 }
@@ -388,9 +259,10 @@ type innerResult struct {
 // terminating in the band climb or descend from their arrival row to the
 // core of their destination stage; arrivals destined beyond the band are
 // forwarded horizontally and do not touch vertical links.
-func (e *engine2D) inner(b *bandCtx, arrivals []distEntry) (innerResult, bool) {
+func (e *engine2D) inner(b *spg.Band, arrivals []distEntry) (innerResult, bool) {
 	P := e.pl.P
 	ymax := e.ymax
+	ec := e.bandEcal(b)
 
 	// 2D prefix sums of terminating arrival volume by (arrival row, dest y):
 	// t2d[r][y] = volume with row < r and dest y <= y.
@@ -401,7 +273,7 @@ func (e *engine2D) inner(b *bandCtx, arrivals []distEntry) (innerResult, bool) {
 	for _, d := range arrivals {
 		edge := e.g.Edges[d.edge]
 		dx := e.g.Stages[edge.Dst].Label.X
-		if dx > b.m2 {
+		if dx > b.M2 {
 			continue // forwarded through this column
 		}
 		dy := e.g.Stages[edge.Dst].Label.Y
@@ -427,40 +299,40 @@ func (e *engine2D) inner(b *bandCtx, arrivals []distEntry) (innerResult, bool) {
 		// Upward crossings: arrivals at rows <= u-2 with destination row
 		// above the cut (y > gp). Downward: arrivals at rows >= u-1 with
 		// destination at or below the cut (y <= gp).
-		up := b.upInt[gp] + t2d[u-1][ymax] - t2d[u-1][gp]
-		down := b.downInt[gp] + t2d[P][gp] - t2d[u-1][gp]
+		up := b.UpInt[gp] + t2d[u-1][ymax] - t2d[u-1][gp]
+		down := b.DownInt[gp] + t2d[P][gp] - t2d[u-1][gp]
 		if up > e.capL*(1+1e-12) || down > e.capL*(1+1e-12) {
 			return math.Inf(1)
 		}
 		return (up + down) * e.pl.EnergyPerGB
 	}
 
-	ec := make([][]float64, ymax+1)
+	dp := make([][]float64, ymax+1)
 	par := make([][]int, ymax+1)
 	for g := 0; g <= ymax; g++ {
-		ec[g] = make([]float64, P+1)
+		dp[g] = make([]float64, P+1)
 		par[g] = make([]int, P+1)
 		for u := 0; u <= P; u++ {
-			ec[g][u] = math.Inf(1)
+			dp[g][u] = math.Inf(1)
 			par[g][u] = -1
 		}
 	}
-	ec[0][0] = 0
+	dp[0][0] = 0
 	for u := 1; u <= P; u++ {
 		for g := 0; g <= ymax; g++ {
 			// g' descends from g (empty rectangle) to 0; the rectangle work
 			// grows monotonically, so stop once it exceeds the core budget.
 			for gp := g; gp >= 0; gp-- {
-				if gp < g && e.rectWork(b.m1, b.m2, gp+1, g) > e.maxWork {
+				if gp < g && e.rectWork(b.M1, b.M2, gp+1, g) > e.maxWork {
 					break
 				}
-				base := ec[gp][u-1]
+				base := dp[gp][u-1]
 				if math.IsInf(base, 1) {
 					continue
 				}
 				var rectE float64
 				if gp < g {
-					rectE = e.ecalRect(b, gp+1, g)
+					rectE = e.ecalRect(b, ec, gp+1, g)
 					if math.IsInf(rectE, 1) {
 						continue
 					}
@@ -469,14 +341,14 @@ func (e *engine2D) inner(b *bandCtx, arrivals []distEntry) (innerResult, bool) {
 				if math.IsInf(vertE, 1) {
 					continue
 				}
-				if cand := base + rectE + vertE; cand < ec[g][u] {
-					ec[g][u] = cand
+				if cand := base + rectE + vertE; cand < dp[g][u] {
+					dp[g][u] = cand
 					par[g][u] = gp
 				}
 			}
 		}
 	}
-	if math.IsInf(ec[ymax][P], 1) {
+	if math.IsInf(dp[ymax][P], 1) {
 		return innerResult{}, false
 	}
 	cuts := make([]int, P+1)
@@ -484,30 +356,30 @@ func (e *engine2D) inner(b *bandCtx, arrivals []distEntry) (innerResult, bool) {
 	for u := P; u >= 1; u-- {
 		cuts[u-1] = par[cuts[u]][u]
 	}
-	return innerResult{energy: ec[ymax][P], cuts: cuts}, true
+	return innerResult{energy: dp[ymax][P], cuts: cuts}, true
 }
 
 // outDistribution builds the outgoing distribution D of a band solved with
 // the given cuts: forwarded arrivals keep their row; new outgoing
 // communications are emitted on the row of the core hosting their source.
-func (e *engine2D) outDistribution(b *bandCtx, arrivals []distEntry, cuts []int) []distEntry {
+func (e *engine2D) outDistribution(b *spg.Band, arrivals []distEntry, cuts []int) []distEntry {
 	var out []distEntry
 	for _, d := range arrivals {
-		if e.g.Stages[e.g.Edges[d.edge].Dst].Label.X > b.m2 {
+		if e.g.Stages[e.g.Edges[d.edge].Dst].Label.X > b.M2 {
 			out = append(out, d)
 		}
 	}
-	for _, ei := range b.outgoing {
+	for _, ei := range b.Outgoing {
 		y := e.g.Stages[e.g.Edges[ei].Src].Label.Y
 		out = append(out, distEntry{edge: ei, row: rowCore(cuts, y)})
 	}
 	return out
 }
 
-// solve2D runs the nested DP on the label grid of g against pl and returns
-// the best plan over all numbers of used columns.
-func solve2D(g *spg.Graph, pl *platform.Platform, T float64) (*plan2D, error) {
-	e := newEngine2D(g, pl, T)
+// solve2D runs the nested DP on the label grid of an's graph against pl and
+// returns the best plan over all numbers of used columns.
+func solve2D(an *spg.Analysis, pl *platform.Platform, T float64) (*plan2D, error) {
+	e := newEngine2D(an, pl, T)
 	xmax := e.xmax
 	vmax := pl.Q
 	if xmax < vmax {

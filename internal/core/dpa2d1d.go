@@ -22,6 +22,7 @@ func (h *DPA2D1D) Name() string { return "DPA2D1D" }
 
 // Solve implements Heuristic.
 func (h *DPA2D1D) Solve(inst Instance) (*Solution, error) {
+	inst = inst.Analyzed()
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -36,7 +37,9 @@ func (h *DPA2D1D) Solve(inst Instance) (*Solution, error) {
 		BW:            pl.BW,
 		EnergyPerGB:   pl.EnergyPerGB,
 	}
-	plan, err := solve2D(inst.Graph, uniline, inst.Period)
+	// The virtual uni-line shares the instance's analysis: band contexts are
+	// platform-independent, so DPA2D1D reuses whatever DPA2D already built.
+	plan, err := solve2D(inst.Analysis, uniline, inst.Period)
 	if err != nil {
 		return nil, fmt.Errorf("%w: DPA2D1D found no 1D plan", ErrNoSolution)
 	}

@@ -37,6 +37,7 @@ func (h *Greedy) Name() string { return "Greedy" }
 
 // Solve implements Heuristic.
 func (h *Greedy) Solve(inst Instance) (*Solution, error) {
+	inst = inst.Analyzed()
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -128,19 +129,14 @@ func snakeSweep(pl *platform.Platform) sweepPlan {
 // greedyAtSpeed runs the procedure greedy(s) of Section 5.2 under the given
 // sweep plan.
 func greedyAtSpeed(inst Instance, sIdx int, sweep sweepPlan) (*mapping.Mapping, bool) {
+	inst = inst.Analyzed()
 	g, pl, T := inst.Graph, inst.Platform, inst.Period
 	n := g.N()
 	capW := T * pl.Speeds[sIdx]
 	capL := pl.LinkCapacity(T)
 
-	predsLeft := make([]int, n)
-	inVolume := make([]float64, n) // total incoming communication volume
-	for i := 0; i < n; i++ {
-		predsLeft[i] = len(g.Predecessors(i))
-		for _, e := range g.InEdges(i) {
-			inVolume[i] += g.Edges[e].Volume
-		}
-	}
+	predsLeft := append([]int(nil), inst.Analysis.PredCounts()...)
+	inVolume := inst.Analysis.InVolumes() // total incoming communication volume; read-only
 
 	placed := make([]bool, n)
 	alloc := make([]platform.Core, n)

@@ -25,14 +25,56 @@ type Instance struct {
 	Graph    *spg.Graph
 	Platform *platform.Platform
 	Period   float64 // the bound T, in seconds
+
+	// Analysis optionally carries the shared per-graph analysis cache
+	// (validation, reachability, levels, label grids, bands, downset
+	// spaces). When nil, each Solve call builds a private one; attaching a
+	// cache with NewInstance (or Analyzed) lets every heuristic — and every
+	// period division of the selection protocol — reuse the same
+	// precomputed structures. The cache must wrap the same Graph; a
+	// mismatched cache is ignored.
+	Analysis *spg.Analysis
 }
 
-// Validate sanity-checks the instance.
+// NewInstance returns an instance with a fresh analysis cache attached, the
+// configuration callers should use when the same workload is solved more
+// than once (several heuristics, several periods).
+func NewInstance(g *spg.Graph, pl *platform.Platform, T float64) Instance {
+	return Instance{Graph: g, Platform: pl, Period: T, Analysis: spg.NewAnalysis(g)}
+}
+
+// WithPeriod returns a copy of the instance with the period replaced and the
+// analysis cache retained — the period protocol's way to re-solve a workload
+// at a new bound without re-analyzing the graph.
+func (inst Instance) WithPeriod(T float64) Instance {
+	inst.Period = T
+	return inst
+}
+
+// Analyzed returns a copy of the instance guaranteed to carry an analysis
+// cache for its graph. Heuristics call it once at the top of Solve so that
+// all internal stages share one cache even when the caller attached none.
+func (inst Instance) Analyzed() Instance {
+	if inst.Graph != nil && (inst.Analysis == nil || inst.Analysis.Graph() != inst.Graph) {
+		inst.Analysis = spg.NewAnalysis(inst.Graph)
+	}
+	return inst
+}
+
+// Validate sanity-checks the instance. With an analysis cache attached the
+// graph validation is memoized, making repeated calls (one per heuristic per
+// period division) effectively free.
 func (inst Instance) Validate() error {
 	if inst.Graph == nil || inst.Platform == nil {
 		return errors.New("core: instance missing graph or platform")
 	}
-	if err := inst.Graph.Validate(); err != nil {
+	var err error
+	if inst.Analysis != nil && inst.Analysis.Graph() == inst.Graph {
+		err = inst.Analysis.Validate()
+	} else {
+		err = inst.Graph.Validate()
+	}
+	if err != nil {
 		return err
 	}
 	if err := inst.Platform.Validate(); err != nil {
@@ -76,14 +118,47 @@ func finish(name string, inst Instance, m *mapping.Mapping) (*Solution, error) {
 	return &Solution{Heuristic: name, Mapping: m, Result: res}, nil
 }
 
+// Options configures the heuristic set returned by AllWith. The zero value
+// of every field means "library default", so callers override only what they
+// need.
+type Options struct {
+	// Seed drives the Random heuristic.
+	Seed int64
+	// RandomTrials overrides the number of Random trials (default 10).
+	RandomTrials int
+	// DPA1DMaxStates overrides the DPA1D downset state budget.
+	DPA1DMaxStates int
+	// DPA1DMaxTransitions overrides the DPA1D transition budget.
+	DPA1DMaxTransitions int
+}
+
 // All returns the five heuristics of the paper in presentation order, with
 // their default configurations. seed drives the Random heuristic.
 func All(seed int64) []Heuristic {
+	return AllWith(Options{Seed: seed})
+}
+
+// AllWith returns the five heuristics of the paper in presentation order,
+// configured by o. It is the single authoritative heuristic list: callers
+// that need non-default budgets (the experiment campaigns reduce DPA1D's)
+// delegate here instead of duplicating the list.
+func AllWith(o Options) []Heuristic {
+	random := NewRandom(o.Seed)
+	if o.RandomTrials > 0 {
+		random.Trials = o.RandomTrials
+	}
+	dpa1d := NewDPA1D()
+	if o.DPA1DMaxStates > 0 {
+		dpa1d.MaxStates = o.DPA1DMaxStates
+	}
+	if o.DPA1DMaxTransitions > 0 {
+		dpa1d.MaxTransitions = o.DPA1DMaxTransitions
+	}
 	return []Heuristic{
-		NewRandom(seed),
+		random,
 		NewGreedy(),
 		NewDPA2D(),
-		NewDPA1D(),
+		dpa1d,
 		NewDPA2D1D(),
 	}
 }

@@ -27,6 +27,7 @@ func (h *Random) Name() string { return "Random" }
 
 // Solve implements Heuristic.
 func (h *Random) Solve(inst Instance) (*Solution, error) {
+	inst = inst.Analyzed()
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,10 +69,7 @@ func (h *Random) trial(inst Instance, rng *rand.Rand) (*mapping.Mapping, bool) {
 	g, pl, T := inst.Graph, inst.Platform, inst.Period
 	n := g.N()
 
-	predsLeft := make([]int, n)
-	for i := 0; i < n; i++ {
-		predsLeft[i] = len(g.Predecessors(i))
-	}
+	predsLeft := append([]int(nil), inst.Analysis.PredCounts()...)
 	assignedCount := 0
 	ready := []int{g.Source()}
 	var clusters []randomCluster

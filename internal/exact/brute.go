@@ -54,6 +54,10 @@ func (s *Solver) Name() string {
 
 // Solve implements core.Heuristic.
 func (s *Solver) Solve(inst core.Instance) (*core.Solution, error) {
+	// Reuse the caller's analysis cache when one is attached (a period sweep
+	// built with core.NewInstance/WithPeriod then validates the graph only
+	// once across the sweep); otherwise attach a private one for this call.
+	inst = inst.Analyzed()
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}

@@ -6,7 +6,6 @@ import (
 	"io"
 
 	"spgcmp/internal/core"
-	"spgcmp/internal/spg"
 )
 
 // ILPStats summarizes an emitted program.
@@ -29,6 +28,7 @@ type ILPStats struct {
 // constants), and border-exiting directions are omitted. Indices are 1-based
 // as in the paper.
 func WriteILP(w io.Writer, inst core.Instance) (ILPStats, error) {
+	inst = inst.Analyzed()
 	g, pl, T := inst.Graph, inst.Platform, inst.Period
 	if err := inst.Validate(); err != nil {
 		return ILPStats{}, err
@@ -51,7 +51,7 @@ func WriteILP(w io.Writer, inst core.Instance) (ILPStats, error) {
 		}
 		delta[pr] += e.Volume
 	}
-	reach := spg.NewReachability(g)
+	reach := inst.Analysis.Reachability()
 
 	xName := func(i, k, u, v int) string { return fmt.Sprintf("x_%d_%d_%d_%d", i+1, k+1, u+1, v+1) }
 	mName := func(k, u, v int) string { return fmt.Sprintf("m_%d_%d_%d", k+1, u+1, v+1) }

@@ -15,21 +15,24 @@ import (
 	"spgcmp/internal/spg"
 )
 
-// HeuristicNames lists the five heuristics in the paper's presentation order.
-var HeuristicNames = []string{"Random", "Greedy", "DPA2D", "DPA1D", "DPA2D1D"}
-
-// Heuristics returns the heuristic set used by the experiment campaigns.
-// DPA1D gets a reduced state budget compared to the library default so that
-// large-elevation instances fail fast, mirroring the tractability wall
-// reported in Section 6.2 instead of burning hours on doomed enumerations.
-func Heuristics(seed int64) []core.Heuristic {
-	return []core.Heuristic{
-		core.NewRandom(seed),
-		core.NewGreedy(),
-		core.NewDPA2D(),
-		&core.DPA1D{MaxStates: 60_000, MaxTransitions: 24_000_000},
-		core.NewDPA2D1D(),
+// HeuristicNames lists the five heuristics in the paper's presentation
+// order, derived from the authoritative core list so the two can never
+// drift.
+var HeuristicNames = func() []string {
+	hs := core.All(0)
+	names := make([]string, len(hs))
+	for i, h := range hs {
+		names[i] = h.Name()
 	}
+	return names
+}()
+
+// Heuristics returns the heuristic set used by the experiment campaigns: the
+// core list with a reduced DPA1D state budget, so that large-elevation
+// instances fail fast, mirroring the tractability wall reported in
+// Section 6.2 instead of burning hours on doomed enumerations.
+func Heuristics(seed int64) []core.Heuristic {
+	return core.AllWith(core.Options{Seed: seed, DPA1DMaxStates: 60_000})
 }
 
 // Outcome records one heuristic run on one instance.
@@ -60,13 +63,14 @@ func (ir InstanceResult) BestEnergy() float64 {
 	return best
 }
 
-// runAll executes every heuristic on the instance.
-func runAll(g *spg.Graph, pl *platform.Platform, T float64, seed int64) []Outcome {
+// runAll executes every heuristic on the instance. The instance's analysis
+// cache (when attached) is shared by all five heuristics.
+func runAll(inst core.Instance, seed int64) []Outcome {
 	hs := Heuristics(seed)
 	out := make([]Outcome, len(hs))
 	for i, h := range hs {
 		out[i].Heuristic = h.Name()
-		sol, err := h.Solve(core.Instance{Graph: g, Platform: pl, Period: T})
+		sol, err := h.Solve(inst)
 		if err != nil {
 			continue
 		}
@@ -91,22 +95,27 @@ func anyOK(outcomes []Outcome) bool {
 // succeeds, and retain the last period before total failure, together with
 // the heuristic outcomes at that period. ok is false when every heuristic
 // already fails at 1 s.
+//
+// One analysis cache is built per workload and shared across all heuristics
+// and all period divisions: validation, reachability, level and band
+// structures and the interned downset space are computed once instead of
+// once per (heuristic, period) pair.
 func SelectPeriod(g *spg.Graph, pl *platform.Platform, seed int64) (InstanceResult, bool) {
 	const maxDivisions = 9
-	T := 1.0
-	outcomes := runAll(g, pl, T, seed)
+	inst := core.NewInstance(g, pl, 1.0)
+	outcomes := runAll(inst, seed)
 	if !anyOK(outcomes) {
-		return InstanceResult{Period: T, Outcomes: outcomes}, false
+		return InstanceResult{Period: inst.Period, Outcomes: outcomes}, false
 	}
 	for i := 0; i < maxDivisions; i++ {
-		nextT := T / 10
-		next := runAll(g, pl, nextT, seed)
+		tighter := inst.WithPeriod(inst.Period / 10)
+		next := runAll(tighter, seed)
 		if !anyOK(next) {
 			break
 		}
-		T, outcomes = nextT, next
+		inst, outcomes = tighter, next
 	}
-	return InstanceResult{Period: T, Outcomes: outcomes}, true
+	return InstanceResult{Period: inst.Period, Outcomes: outcomes}, true
 }
 
 // parallelFor runs fn(i) for i in [0, n) on all available cores.

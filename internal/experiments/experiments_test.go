@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"spgcmp/internal/core"
 	"spgcmp/internal/platform"
 	"spgcmp/internal/randspg"
 	"spgcmp/internal/streamit"
@@ -28,7 +29,7 @@ func TestSelectPeriodProtocol(t *testing.T) {
 	if ir.Period > 1 || ir.Period <= 0 {
 		t.Fatalf("period %g out of range", ir.Period)
 	}
-	below := runAll(g, pl, ir.Period/10, 1)
+	below := runAll(core.NewInstance(g, pl, ir.Period/10), 1)
 	if anyOK(below) {
 		t.Errorf("period %g is not tight: T/10 still succeeds", ir.Period)
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"spgcmp/internal/core"
 	"spgcmp/internal/platform"
 	"spgcmp/internal/streamit"
 )
@@ -123,7 +124,7 @@ func TestPaperShape6x6FailsLess(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, o := range runAll(g, pl6, c.Result.Period, 1+int64(i)) {
+		for _, o := range runAll(core.NewInstance(g, pl6, c.Result.Period), 1+int64(i)) {
 			if !o.OK {
 				f6[o.Heuristic]++
 			}

@@ -3,6 +3,7 @@ package mapping
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"spgcmp/internal/platform"
 	"spgcmp/internal/spg"
@@ -85,9 +86,25 @@ func evaluate(g *spg.Graph, pl *platform.Platform, m *Mapping, T float64, requir
 		CoreTimes: make(map[platform.Core]float64),
 	}
 
-	// Computation cycle-times and energy.
+	// Computation cycle-times and energy. Active cores are visited in
+	// row-major order — not map order — so the floating-point accumulation
+	// (and the violation reported first) is deterministic: the same mapping
+	// always evaluates to the bit-identical energy. Sorting just the active
+	// cores keeps the cost proportional to the mapping, which matters in the
+	// exact solver's enumeration loop.
 	work := m.CoreWork(g)
-	for c, w := range work {
+	active := make([]platform.Core, 0, len(work))
+	for c := range work {
+		active = append(active, c)
+	}
+	sort.Slice(active, func(i, j int) bool {
+		if active[i].U != active[j].U {
+			return active[i].U < active[j].U
+		}
+		return active[i].V < active[j].V
+	})
+	for _, c := range active {
+		w := work[c]
 		idx := m.SpeedOf(pl, c)
 		if idx < 0 || idx >= len(pl.Speeds) {
 			return nil, fmt.Errorf("mapping: core %v hosts stages but has speed index %d", c, idx)
@@ -122,8 +139,21 @@ func evaluate(g *spg.Graph, pl *platform.Platform, m *Mapping, T float64, requir
 			res.LinkLoads[l] += edge.Volume
 		}
 	}
+	// Loaded links are visited in a canonical sorted order for the same
+	// determinism reasons as the core loop above; sorting just the loaded
+	// links keeps the cost proportional to the mapping, which matters in the
+	// exact solver's enumeration loop.
 	capacity := pl.LinkCapacity(T)
-	for l, load := range res.LinkLoads {
+	loaded := make([]platform.Link, 0, len(res.LinkLoads))
+	for l := range res.LinkLoads {
+		loaded = append(loaded, l)
+	}
+	linkKey := func(l platform.Link) int {
+		return (l.From.U*pl.Q+l.From.V)*pl.NumCores() + l.To.U*pl.Q + l.To.V
+	}
+	sort.Slice(loaded, func(i, j int) bool { return linkKey(loaded[i]) < linkKey(loaded[j]) })
+	for _, l := range loaded {
+		load := res.LinkLoads[l]
 		if load > capacity*(1+relTol) {
 			return nil, fmt.Errorf("mapping: link %v load %.6g GB exceeds capacity %.6g GB", l, load, capacity)
 		}

@@ -1,0 +1,315 @@
+package spg
+
+import (
+	"errors"
+	"sync"
+)
+
+// Analysis is a per-graph cache of the period-independent structures the
+// heuristics and front-end tools consume: validation, transitive closure,
+// elevation levels, the label grid, topological order, label-rectangle
+// prefix sums, adjacency summaries, band analyses (DPA2D) and interned
+// downset spaces (DPA1D). All of it depends only on the graph, never on the
+// platform or the period, so
+// one Analysis can be shared across every heuristic run on a workload — in
+// particular across the up-to-ten period divisions of the Section 6.1.3
+// selection protocol, which would otherwise recompute each structure from
+// scratch at every division.
+//
+// Every structure is computed lazily on first use and memoized. An Analysis
+// is safe for concurrent use by multiple goroutines, though a single mutex
+// guards all memoization: a goroutine paying for an expensive first build
+// (a large downset space, say) briefly blocks cheap getters on other
+// goroutines. The graph it wraps must not be mutated after NewAnalysis
+// (mutating the graph would silently invalidate the memoized structures).
+//
+// Accessors return internal slices for speed; callers must treat them as
+// read-only and copy before mutating.
+type Analysis struct {
+	g *Graph
+
+	mu sync.Mutex
+
+	validated   bool
+	validateErr error
+
+	reach *Reachability
+
+	levels [][]int
+	grid   [][]int
+
+	topoDone bool
+	topo     []int
+	topoErr  error
+
+	dimsDone         bool
+	depth, elevation int
+
+	ccrDone bool
+	ccr     float64
+
+	predCounts []int
+	inVolumes  []float64
+
+	wPrefix [][]float64
+	cPrefix [][]int
+
+	// bands[m1*(depth+1)+m2] memoizes Band(m1, m2); a dense slice because
+	// the DPA2D outer DP probes bands in tight loops where map hashing is
+	// measurable.
+	bands    []*Band
+	downsets map[int]*downsetSlot
+}
+
+type downsetSlot struct {
+	ds  *DownsetSpace
+	err error
+}
+
+// NewAnalysis wraps g in an empty cache. The graph's adjacency lists are
+// built eagerly so that concurrent reads through the Graph accessors
+// (Successors, OutEdges, ...) are race-free afterwards.
+func NewAnalysis(g *Graph) *Analysis {
+	if g != nil {
+		g.buildAdj()
+	}
+	return &Analysis{
+		g:        g,
+		downsets: make(map[int]*downsetSlot),
+	}
+}
+
+// Graph returns the wrapped graph.
+func (a *Analysis) Graph() *Graph { return a.g }
+
+// Validate memoizes Graph.Validate: the first call pays the full structural
+// check, every later call returns the recorded verdict. This is what makes
+// Instance.Validate idempotent when an Analysis is attached.
+func (a *Analysis) Validate() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.validated {
+		if a.g == nil {
+			a.validateErr = errors.New("spg: analysis of a nil graph")
+		} else {
+			a.validateErr = a.g.Validate()
+		}
+		a.validated = true
+	}
+	return a.validateErr
+}
+
+// Reachability returns the memoized transitive closure.
+func (a *Analysis) Reachability() *Reachability {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.reach == nil {
+		a.reach = NewReachability(a.g)
+	}
+	return a.reach
+}
+
+// Levels returns the memoized elevation levels (see the Levels function).
+func (a *Analysis) Levels() [][]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.levelsLocked()
+}
+
+func (a *Analysis) levelsLocked() [][]int {
+	if a.levels == nil {
+		a.levels = Levels(a.g)
+	}
+	return a.levels
+}
+
+// StageGrid returns the memoized Depth() x Elevation() label grid (see the
+// StageGrid function). DPA2D itself consumes the prefix sums and bands; the
+// grid form is kept for renderers, tools and tests.
+func (a *Analysis) StageGrid() [][]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.grid == nil {
+		a.grid = StageGrid(a.g)
+	}
+	return a.grid
+}
+
+// TopoOrder returns the memoized topological order.
+func (a *Analysis) TopoOrder() ([]int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.topoLocked()
+}
+
+func (a *Analysis) topoLocked() ([]int, error) {
+	if !a.topoDone {
+		a.topo, a.topoErr = a.g.TopoOrder()
+		a.topoDone = true
+	}
+	return a.topo, a.topoErr
+}
+
+// Depth returns the memoized x_max.
+func (a *Analysis) Depth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.dimsLocked()
+	return a.depth
+}
+
+// Elevation returns the memoized y_max.
+func (a *Analysis) Elevation() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.dimsLocked()
+	return a.elevation
+}
+
+func (a *Analysis) dimsLocked() {
+	if !a.dimsDone {
+		a.depth, a.elevation = a.g.Depth(), a.g.Elevation()
+		a.dimsDone = true
+	}
+}
+
+// CCR returns the memoized computation-to-communication ratio.
+func (a *Analysis) CCR() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.ccrDone {
+		a.ccr = CCR(a.g)
+		a.ccrDone = true
+	}
+	return a.ccr
+}
+
+// PredCounts returns, per stage, the number of distinct predecessors — the
+// initial in-degree vector the list-scheduling heuristics start from. The
+// returned slice is shared; copy before decrementing.
+func (a *Analysis) PredCounts() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.predCounts == nil {
+		pc := make([]int, a.g.N())
+		for i := range pc {
+			pc[i] = len(a.g.Predecessors(i))
+		}
+		a.predCounts = pc
+	}
+	return a.predCounts
+}
+
+// InVolumes returns, per stage, the total incoming communication volume (the
+// sort key of the Greedy heuristic). The returned slice is shared and must
+// not be mutated.
+func (a *Analysis) InVolumes() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inVolumes == nil {
+		iv := make([]float64, a.g.N())
+		for i := range iv {
+			for _, e := range a.g.InEdges(i) {
+				iv[i] += a.g.Edges[e].Volume
+			}
+		}
+		a.inVolumes = iv
+	}
+	return a.inVolumes
+}
+
+// LabelPrefixSums returns (xmax+1) x (ymax+1) 2D prefix sums over the label
+// grid: w[x][y] is the total weight and c[x][y] the stage count of labels
+// (x' <= x, y' <= y), both 1-based with a zero guard row/column. DPA2D uses
+// them for O(1) rectangle work and population queries. The returned slices
+// are shared and must not be mutated.
+func (a *Analysis) LabelPrefixSums() (w [][]float64, c [][]int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.prefixLocked()
+	return a.wPrefix, a.cPrefix
+}
+
+func (a *Analysis) prefixLocked() {
+	if a.wPrefix != nil {
+		return
+	}
+	a.dimsLocked()
+	xmax, ymax := a.depth, a.elevation
+	wp := make([][]float64, xmax+1)
+	cp := make([][]int, xmax+1)
+	for x := 0; x <= xmax; x++ {
+		wp[x] = make([]float64, ymax+1)
+		cp[x] = make([]int, ymax+1)
+	}
+	for _, s := range a.g.Stages {
+		wp[s.Label.X][s.Label.Y] += s.Weight
+		cp[s.Label.X][s.Label.Y]++
+	}
+	for x := 1; x <= xmax; x++ {
+		for y := 1; y <= ymax; y++ {
+			wp[x][y] += wp[x-1][y] + wp[x][y-1] - wp[x-1][y-1]
+			cp[x][y] += cp[x-1][y] + cp[x][y-1] - cp[x-1][y-1]
+		}
+	}
+	a.wPrefix, a.cPrefix = wp, cp
+}
+
+// Band returns (building and memoizing on first use) the platform- and
+// period-independent analysis of the band of x levels [m1..m2] used by the
+// DPA2D nested dynamic program. Bands are shared between DPA2D, its
+// transposed variant and DPA2D1D, and across all period divisions of the
+// selection protocol.
+func (a *Analysis) Band(m1, m2 int) *Band {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.dimsLocked()
+	if a.bands == nil {
+		a.bands = make([]*Band, (a.depth+1)*(a.depth+1))
+	}
+	key := m1*(a.depth+1) + m2
+	if b := a.bands[key]; b != nil {
+		return b
+	}
+	topo, _ := a.topoLocked()
+	b := newBand(a.g, topo, a.elevation, m1, m2)
+	a.bands[key] = b
+	return b
+}
+
+// DownsetSpace returns the memoized admissible-subgraph space for the given
+// state budget, creating it on first use. Spaces are keyed by budget so that
+// configurations with different caps (library default vs experiment
+// campaigns) never observe each other's limits; within one budget the
+// interned states persist across runs, and per-run budget accounting is
+// handled by DownsetSpace.BeginRun.
+func (a *Analysis) DownsetSpace(maxStates int) (*DownsetSpace, error) {
+	maxStates = normalizeStateBudget(maxStates)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	slot, ok := a.downsets[maxStates]
+	if !ok {
+		ds, err := newDownsetSpace(a.g, a.levelsLocked(), maxStates)
+		slot = &downsetSlot{ds: ds, err: err}
+		a.downsets[maxStates] = slot
+	}
+	return slot.ds, slot.err
+}
+
+// EvictDownsetSpace drops the memoized space for the given budget, provided
+// the slot still holds the space the caller observed failing (a concurrent
+// eviction may already have replaced it with a fresh space another goroutine
+// is warming — that one must survive). DPA1D evicts after a budget-exhausted
+// run: each period's enumeration explores a different frontier of a
+// partially enumerated space, so keeping it would grow memory without bound
+// across runs and slow every later enumeration behind a bloated intern
+// table. Dropping it keeps failed runs on exactly the same footing as a
+// fresh space.
+func (a *Analysis) EvictDownsetSpace(maxStates int, ds *DownsetSpace) {
+	maxStates = normalizeStateBudget(maxStates)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if slot, ok := a.downsets[maxStates]; ok && slot.ds == ds {
+		delete(a.downsets, maxStates)
+	}
+}

@@ -1,0 +1,191 @@
+package spg
+
+import "sync"
+
+// Band is the platform- and period-independent analysis of one band of
+// consecutive x levels [M1..M2] of an SPG, as consumed by the DPA2D nested
+// dynamic program (Section 5.3): edge classification, per-row-boundary
+// internal crossing volumes, and band-local ancestor/descendant elevation
+// masks for rectangle convexity checks. Everything here depends only on the
+// graph, so bands are built once per (m1, m2) pair and shared across DPA2D,
+// its transposed variant, DPA2D1D and every period division (see
+// Analysis.Band). The exported structure is immutable after construction;
+// the rectangle-convexity verdicts are memoized internally under a lock.
+type Band struct {
+	M1, M2 int
+
+	// Internal lists edge indices with both endpoints in the band; Outgoing
+	// lists edges with their source in the band and destination beyond it.
+	Internal []int
+	Outgoing []int
+
+	// UpInt[gp] (DownInt[gp]) is the volume of internal edges crossing the
+	// row boundary gp upwards (downwards): y_src <= gp < y_dst (resp.
+	// y_dst <= gp < y_src).
+	UpInt, DownInt []float64
+
+	// Nodes lists the band's stages in topological order; Local maps a stage
+	// index to its position in Nodes. Anc[i] (Desc[i]) is the y bitmask of
+	// the band-internal ancestors (descendants) of band node i, each Words
+	// uint64 long.
+	Nodes []int
+	Local map[int]int
+	Anc   [][]uint64
+	Desc  [][]uint64
+	Words int
+
+	g    *Graph
+	ymax int
+
+	// convex memoizes RowsConvex verdicts: index r1*(ymax+2)+r2, with 0 =
+	// unknown, 1 = convex, -1 = not convex. The verdict is graph-only, so it
+	// is shared across every platform and period that queries the band.
+	mu     sync.Mutex
+	convex []int8
+}
+
+// RowsConvex reports whether restricting the band to label rows [r1..r2]
+// yields a convex stage set: no band stage outside those rows may have both
+// an ancestor and a descendant inside them (Section 5.3 assigns such
+// rectangles infinite energy). Verdicts are memoized; the method is safe for
+// concurrent use.
+func (b *Band) RowsConvex(r1, r2 int) bool {
+	idx := r1*(b.ymax+2) + r2
+	b.mu.Lock()
+	if v := b.convex[idx]; v != 0 {
+		b.mu.Unlock()
+		return v > 0
+	}
+	b.mu.Unlock()
+	ok := b.computeConvex(r1, r2)
+	b.mu.Lock()
+	if ok {
+		b.convex[idx] = 1
+	} else {
+		b.convex[idx] = -1
+	}
+	b.mu.Unlock()
+	return ok
+}
+
+func (b *Band) computeConvex(r1, r2 int) bool {
+	mask := make([]uint64, b.Words)
+	for y := r1 - 1; y <= r2-1; y++ {
+		mask[y/64] |= 1 << uint(y%64)
+	}
+	for li, s := range b.Nodes {
+		y := b.g.Stages[s].Label.Y
+		if y >= r1 && y <= r2 {
+			continue
+		}
+		var hasAnc, hasDesc bool
+		for w := 0; w < b.Words; w++ {
+			if b.Anc[li][w]&mask[w] != 0 {
+				hasAnc = true
+			}
+			if b.Desc[li][w]&mask[w] != 0 {
+				hasDesc = true
+			}
+		}
+		if hasAnc && hasDesc {
+			return false
+		}
+	}
+	return true
+}
+
+// newBand computes the band analysis of x levels [m1..m2]. topo is a
+// topological order of the full graph; ymax its elevation. Any dependence
+// path between two band stages stays inside the band (x is strictly
+// increasing along edges), so band-local reachability suffices for rectangle
+// convexity.
+func newBand(g *Graph, topo []int, ymax, m1, m2 int) *Band {
+	words := (ymax + 63) / 64
+	b := &Band{
+		M1: m1, M2: m2,
+		UpInt:   make([]float64, ymax+1),
+		DownInt: make([]float64, ymax+1),
+		Local:   make(map[int]int),
+		Words:   words,
+		g:       g,
+		ymax:    ymax,
+		convex:  make([]int8, (ymax+2)*(ymax+2)),
+	}
+	inBand := func(s int) bool {
+		x := g.Stages[s].Label.X
+		return x >= m1 && x <= m2
+	}
+	for _, s := range topo {
+		if inBand(s) {
+			b.Local[s] = len(b.Nodes)
+			b.Nodes = append(b.Nodes, s)
+		}
+	}
+	// Difference arrays for the per-boundary internal crossing volumes.
+	upDiff := make([]float64, ymax+2)
+	downDiff := make([]float64, ymax+2)
+	for ei, edge := range g.Edges {
+		srcIn, dstIn := inBand(edge.Src), inBand(edge.Dst)
+		switch {
+		case srcIn && dstIn:
+			b.Internal = append(b.Internal, ei)
+			ys, yd := g.Stages[edge.Src].Label.Y, g.Stages[edge.Dst].Label.Y
+			if ys < yd {
+				upDiff[ys] += edge.Volume
+				upDiff[yd] -= edge.Volume
+			} else if yd < ys {
+				downDiff[yd] += edge.Volume
+				downDiff[ys] -= edge.Volume
+			}
+		case srcIn && g.Stages[edge.Dst].Label.X > m2:
+			b.Outgoing = append(b.Outgoing, ei)
+		}
+	}
+	var up, down float64
+	for gp := 0; gp <= ymax; gp++ {
+		up += upDiff[gp]
+		down += downDiff[gp]
+		b.UpInt[gp] = up
+		b.DownInt[gp] = down
+	}
+	// Band-internal ancestor/descendant y masks, propagated in topological
+	// (node list) order.
+	nb := len(b.Nodes)
+	b.Anc = make([][]uint64, nb)
+	b.Desc = make([][]uint64, nb)
+	masks := make([]uint64, 2*nb*words)
+	for i := 0; i < nb; i++ {
+		b.Anc[i], masks = masks[:words], masks[words:]
+		b.Desc[i], masks = masks[:words], masks[words:]
+	}
+	for li, s := range b.Nodes {
+		for _, ei := range g.OutEdges(s) {
+			edge := g.Edges[ei]
+			ld, ok := b.Local[edge.Dst]
+			if !ok {
+				continue
+			}
+			y := g.Stages[s].Label.Y - 1
+			b.Anc[ld][y/64] |= 1 << uint(y%64)
+			for w := 0; w < words; w++ {
+				b.Anc[ld][w] |= b.Anc[li][w]
+			}
+		}
+	}
+	for li := nb - 1; li >= 0; li-- {
+		s := b.Nodes[li]
+		for _, ei := range g.OutEdges(s) {
+			edge := g.Edges[ei]
+			ld, ok := b.Local[edge.Dst]
+			if !ok {
+				continue
+			}
+			y := g.Stages[edge.Dst].Label.Y - 1
+			b.Desc[li][y/64] |= 1 << uint(y%64)
+			for w := 0; w < words; w++ {
+				b.Desc[li][w] |= b.Desc[ld][w]
+			}
+		}
+	}
+	return b
+}

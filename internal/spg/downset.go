@@ -3,6 +3,7 @@ package spg
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrStateLimit is returned when enumerating the admissible subgraphs of an
@@ -23,6 +24,17 @@ var ErrStateLimit = errors.New("spg: admissible-subgraph state limit exceeded")
 // it contains, which bounds the number of downsets by n^y_max (the bound used
 // in the paper's complexity analysis). Downsets are interned lazily and
 // addressed by dense integer ids.
+//
+// A space may be reused across several solver runs (Analysis.DownsetSpace
+// hands the same space to every DPA1D run on a workload): interned states
+// persist, while the state budget is accounted per run. A run is the span
+// between two BeginRun calls; the budget bounds the number of distinct
+// downsets the run touches, so a warmed space fails (or succeeds) exactly
+// where a freshly built one would, regardless of how many states earlier
+// runs left behind. Without any BeginRun call the whole lifetime is one run,
+// which matches the historical total-cap semantics.
+//
+// All methods are safe for concurrent use.
 type DownsetSpace struct {
 	g          *Graph
 	levels     [][]int // stages per elevation level, in chain (x) order
@@ -30,17 +42,52 @@ type DownsetSpace struct {
 	posInLevel []int   // stage -> position within its level chain
 	preds      [][]int // stage -> distinct predecessors
 
+	// runMu serializes whole runs: per-method locking (mu) keeps the data
+	// structures consistent, but a run's indices are only meaningful within
+	// its own epoch, so BeginRun through the last RunID/CoutRun/
+	// ExpansionsInRun call must not interleave with another run. Solvers
+	// hold it for the duration of a Solve via LockRun/UnlockRun.
+	runMu sync.Mutex
+
+	mu        sync.Mutex
 	ids       map[string]int
 	counts    [][]uint8 // id -> per-level inclusion counts
 	size      []int     // id -> number of included stages
-	coutCache []float64 // id -> outgoing cut volume (NaN sentinel via negative)
+	coutCache []float64 // id -> outgoing cut volume (negative = uncomputed)
 
-	expCache map[int][]Expansion
-	expWork  float64 // maxWork the cache was built with
+	lastSeen   []int // id -> epoch that last touched it
+	epoch      int
+	runIDs     []int // run index -> id, in touch order for the current epoch
+	runIndexOf []int // id -> run index (valid only when lastSeen[id] == epoch)
+
+	// expCache memoizes enumerations per source downset, tagged with the
+	// work budget they were computed at. A query at a smaller budget is
+	// served by filtering: pruning only removes chunks heavier than the
+	// budget (every path to a light chunk has light prefixes), so the
+	// smaller-budget DFS tree is a prefix-closed subtree of the larger one
+	// and the filtered list preserves both membership and order. SelectPeriod
+	// descends from the largest period, so one enumeration per downset
+	// serves every later period.
+	expCache map[int]expEntry
 
 	maxStates int
 	emptyID   int
 	fullID    int
+}
+
+type expEntry struct {
+	maxWork float64
+	exps    []Expansion
+}
+
+// normalizeStateBudget maps the "use the default cap" sentinel to its value;
+// every consumer of a state budget (space construction, the Analysis memo
+// key) must agree on it so equal budgets share one space.
+func normalizeStateBudget(maxStates int) int {
+	if maxStates <= 0 {
+		return 1 << 20
+	}
+	return maxStates
 }
 
 // Expansion describes one admissible superset reachable from a downset: the
@@ -52,13 +99,16 @@ type Expansion struct {
 }
 
 // NewDownsetSpace prepares downset enumeration for g. maxStates caps the
-// number of distinct downsets that may be interned; enumeration beyond the
-// cap fails with ErrStateLimit.
+// number of distinct downsets a run may touch; enumeration beyond the cap
+// fails with ErrStateLimit.
 func NewDownsetSpace(g *Graph, maxStates int) (*DownsetSpace, error) {
-	if maxStates <= 0 {
-		maxStates = 1 << 20
-	}
-	levels := Levels(g)
+	return newDownsetSpace(g, Levels(g), maxStates)
+}
+
+// newDownsetSpace is NewDownsetSpace with the elevation levels supplied by
+// the caller (Analysis passes its memoized copy; the space only reads them).
+func newDownsetSpace(g *Graph, levels [][]int, maxStates int) (*DownsetSpace, error) {
+	maxStates = normalizeStateBudget(maxStates)
 	for _, lv := range levels {
 		if len(lv) > 255 {
 			return nil, fmt.Errorf("spg: elevation level with %d stages exceeds uint8 count encoding", len(lv))
@@ -73,7 +123,8 @@ func NewDownsetSpace(g *Graph, maxStates int) (*DownsetSpace, error) {
 		preds:      make([][]int, n),
 		ids:        make(map[string]int),
 		maxStates:  maxStates,
-		expCache:   make(map[int][]Expansion),
+		epoch:      1,
+		expCache:   make(map[int]expEntry),
 	}
 	for y, lv := range levels {
 		for p, s := range lv {
@@ -86,7 +137,7 @@ func NewDownsetSpace(g *Graph, maxStates int) (*DownsetSpace, error) {
 	}
 	empty := make([]uint8, len(levels))
 	var err error
-	ds.emptyID, err = ds.intern(empty)
+	ds.emptyID, err = ds.visit(empty)
 	if err != nil {
 		return nil, err
 	}
@@ -94,11 +145,60 @@ func NewDownsetSpace(g *Graph, maxStates int) (*DownsetSpace, error) {
 	for y, lv := range levels {
 		full[y] = uint8(len(lv))
 	}
-	ds.fullID, err = ds.intern(full)
+	ds.fullID, err = ds.visit(full)
 	if err != nil {
 		return nil, err
 	}
 	return ds, nil
+}
+
+// BeginRun opens a fresh budget epoch: the run that follows may touch up to
+// maxStates distinct downsets (the empty and full sets count, as they do for
+// a freshly constructed space). Solvers call it once per Solve so that a
+// space shared across periods behaves exactly like a per-run space.
+//
+// Within an epoch every touched downset also receives a dense run index
+// (its position in touch order, empty = 0, full = 1). Because touches happen
+// in the same order whether the space is fresh or warmed, run indices are
+// history-independent: the DPA1D dynamic program uses them as state keys so
+// that its tables, iteration order and floating-point tie-breaking are
+// identical either way — and sized by this run's states, not by whatever
+// earlier runs left interned.
+func (ds *DownsetSpace) BeginRun() {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.epoch++
+	ds.runIDs = ds.runIDs[:0]
+	// The constructor counts the empty and full sets; mirror that here so a
+	// warmed run's accounting matches a fresh space's.
+	_ = ds.touch(ds.emptyID)
+	_ = ds.touch(ds.fullID)
+}
+
+// LockRun gives the caller exclusive use of the run-scoped API — BeginRun,
+// RunCount, RunID, CoutRun, ExpansionsInRun — until UnlockRun. Run indices
+// are only meaningful within their own epoch, so a solver sharing the space
+// with other goroutines must hold the run lock for its whole Solve; the
+// per-method mutex alone cannot prevent a concurrent BeginRun from
+// invalidating indices mid-run.
+func (ds *DownsetSpace) LockRun() { ds.runMu.Lock() }
+
+// UnlockRun releases the exclusivity acquired by LockRun.
+func (ds *DownsetSpace) UnlockRun() { ds.runMu.Unlock() }
+
+// RunCount returns the number of distinct downsets touched in the current
+// run (epoch).
+func (ds *DownsetSpace) RunCount() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return len(ds.runIDs)
+}
+
+// RunID returns the global id of the downset with run index k.
+func (ds *DownsetSpace) RunID(k int) int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.runIDs[k]
 }
 
 // EmptyID returns the id of the empty downset.
@@ -108,17 +208,45 @@ func (ds *DownsetSpace) EmptyID() int { return ds.emptyID }
 func (ds *DownsetSpace) FullID() int { return ds.fullID }
 
 // NumStates returns the number of downsets interned so far.
-func (ds *DownsetSpace) NumStates() int { return len(ds.counts) }
+func (ds *DownsetSpace) NumStates() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return len(ds.counts)
+}
 
 // Size returns the number of stages in downset id.
-func (ds *DownsetSpace) Size(id int) int { return ds.size[id] }
+func (ds *DownsetSpace) Size(id int) int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.size[id]
+}
 
-func (ds *DownsetSpace) intern(counts []uint8) (int, error) {
+// touch records that the current run uses downset id, charging the run
+// budget and assigning the run index on the first touch. Callers hold ds.mu.
+func (ds *DownsetSpace) touch(id int) error {
+	if ds.lastSeen[id] == ds.epoch {
+		return nil
+	}
+	if len(ds.runIDs) >= ds.maxStates {
+		return ErrStateLimit
+	}
+	ds.lastSeen[id] = ds.epoch
+	ds.runIndexOf[id] = len(ds.runIDs)
+	ds.runIDs = append(ds.runIDs, id)
+	return nil
+}
+
+// visit returns the id of the downset with the given counts, interning it if
+// new, and charges the run budget (through touch, the single charging path).
+// Callers hold ds.mu.
+func (ds *DownsetSpace) visit(counts []uint8) (int, error) {
 	key := string(counts)
 	if id, ok := ds.ids[key]; ok {
-		return id, nil
+		return id, ds.touch(id)
 	}
-	if len(ds.counts) >= ds.maxStates {
+	// Check the budget before interning so a rejected state is not retained;
+	// with ds.mu held, touch below then succeeds on the same condition.
+	if len(ds.runIDs) >= ds.maxStates {
 		return -1, ErrStateLimit
 	}
 	id := len(ds.counts)
@@ -132,16 +260,26 @@ func (ds *DownsetSpace) intern(counts []uint8) (int, error) {
 	}
 	ds.size = append(ds.size, sz)
 	ds.coutCache = append(ds.coutCache, -1)
-	return id, nil
+	ds.lastSeen = append(ds.lastSeen, 0) // 0 predates every epoch: untouched
+	ds.runIndexOf = append(ds.runIndexOf, 0)
+	return id, ds.touch(id)
 }
 
 // Contains reports whether stage s belongs to downset id.
 func (ds *DownsetSpace) Contains(id, s int) bool {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.contains(id, s)
+}
+
+func (ds *DownsetSpace) contains(id, s int) bool {
 	return ds.posInLevel[s] < int(ds.counts[id][ds.levelOf[s]])
 }
 
 // Members returns the stages of downset id in no particular order.
 func (ds *DownsetSpace) Members(id int) []int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	out := make([]int, 0, ds.size[id])
 	for y, c := range ds.counts[id] {
 		for p := 0; p < int(c); p++ {
@@ -155,6 +293,8 @@ func (ds *DownsetSpace) Members(id int) []int {
 // only meaningful when from is a subset of to, which holds for ids produced
 // by Expansions.
 func (ds *DownsetSpace) Diff(from, to int) []int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	cf, ct := ds.counts[from], ds.counts[to]
 	var out []int
 	for y := range cf {
@@ -168,14 +308,28 @@ func (ds *DownsetSpace) Diff(from, to int) []int {
 // Cout returns the aggregated volume of the edges leaving downset id (source
 // inside, destination outside). On a uni-directional uni-line CMP this is
 // exactly the load of the link separating the downset's processors from the
-// rest, the quantity bounded by BW*T in Theorem 1.
+// rest, the quantity bounded by BW*T in Theorem 1. Values are graph-only and
+// cached for the lifetime of the space, across runs.
 func (ds *DownsetSpace) Cout(id int) float64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.coutLocked(id)
+}
+
+// CoutRun is Cout keyed by the run index of the downset.
+func (ds *DownsetSpace) CoutRun(k int) float64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.coutLocked(ds.runIDs[k])
+}
+
+func (ds *DownsetSpace) coutLocked(id int) float64 {
 	if v := ds.coutCache[id]; v >= 0 {
 		return v
 	}
 	var total float64
 	for _, e := range ds.g.Edges {
-		if ds.Contains(id, e.Src) && !ds.Contains(id, e.Dst) {
+		if ds.contains(id, e.Src) && !ds.contains(id, e.Dst) {
 			total += e.Volume
 		}
 	}
@@ -185,18 +339,81 @@ func (ds *DownsetSpace) Cout(id int) float64 {
 
 // Expansions enumerates every downset obtainable from id by adding stages
 // whose total weight does not exceed maxWork (at least one stage is added).
-// Results are cached per id; maxWork must be the same across calls on one
-// DownsetSpace (it is fixed to T*s_max for a whole DPA1D run).
+// The run budget is charged for id and every returned downset, in
+// enumeration order, so replays and fresh enumerations account identically.
 func (ds *DownsetSpace) Expansions(id int, maxWork float64) ([]Expansion, error) {
-	if cached, ok := ds.expCache[id]; ok && ds.expWork == maxWork {
-		return cached, nil
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	entry, err := ds.ensureExpansionsLocked(id, maxWork)
+	if err != nil {
+		return nil, err
 	}
-	if len(ds.expCache) == 0 {
-		ds.expWork = maxWork
-	} else if ds.expWork != maxWork {
-		// Reset the cache when the budget changes (new run on same space).
-		ds.expCache = make(map[int][]Expansion)
-		ds.expWork = maxWork
+	if entry.maxWork == maxWork {
+		if err := ds.replayLocked(entry, maxWork, func(Expansion) {}); err != nil {
+			return nil, err
+		}
+		return entry.exps, nil
+	}
+	out := make([]Expansion, 0, len(entry.exps))
+	err = ds.replayLocked(entry, maxWork, func(ex Expansion) { out = append(out, ex) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExpansionsInRun is Expansions keyed by run indices: k is the run index of
+// the source downset, and To in the returned expansions is a run index too.
+// This is the DPA1D entry point: run indices are dense and identical between
+// fresh and warmed spaces, so the DP can key its tables by them directly.
+func (ds *DownsetSpace) ExpansionsInRun(k int, maxWork float64) ([]Expansion, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	entry, err := ds.ensureExpansionsLocked(ds.runIDs[k], maxWork)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Expansion, 0, len(entry.exps))
+	err = ds.replayLocked(entry, maxWork, func(ex Expansion) {
+		// Every emitted To was just touched, so its run index is current.
+		out = append(out, Expansion{To: ds.runIndexOf[ex.To], ChunkWork: ex.ChunkWork})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// replayLocked replays a cached enumeration at a (possibly smaller) work
+// budget: it charges the run budget for every fitting expansion in
+// enumeration order — the exact accounting a fresh DFS would perform, which
+// is what keeps warmed and fresh spaces bit-identical — and hands each one
+// to emit. Callers hold ds.mu.
+func (ds *DownsetSpace) replayLocked(entry expEntry, maxWork float64, emit func(Expansion)) error {
+	for _, ex := range entry.exps {
+		if ex.ChunkWork > maxWork {
+			continue
+		}
+		if err := ds.touch(ex.To); err != nil {
+			return err
+		}
+		emit(ex)
+	}
+	return nil
+}
+
+// ensureExpansionsLocked returns the cached enumeration for id, running the
+// depth-first enumeration at maxWork when no entry at that budget (or a
+// larger one) exists. The DFS charges the run budget for every state it
+// visits; replayed entries charge only id here, leaving the per-expansion
+// touches to the caller's filter loop so the accounting order matches a
+// fresh enumeration. Callers hold ds.mu and must not modify entry.exps.
+func (ds *DownsetSpace) ensureExpansionsLocked(id int, maxWork float64) (expEntry, error) {
+	if e, ok := ds.expCache[id]; ok && e.maxWork >= maxWork {
+		return e, ds.touch(id)
+	}
+	if err := ds.touch(id); err != nil {
+		return expEntry{}, err
 	}
 	counts := make([]uint8, len(ds.counts[id]))
 	copy(counts, ds.counts[id])
@@ -226,7 +443,7 @@ func (ds *DownsetSpace) Expansions(id int, maxWork float64) ([]Expansion, error)
 			if !seen[key] {
 				seen[key] = true
 				var to int
-				to, err = ds.intern(counts)
+				to, err = ds.visit(counts)
 				if err != nil {
 					counts[y]--
 					return
@@ -239,10 +456,11 @@ func (ds *DownsetSpace) Expansions(id int, maxWork float64) ([]Expansion, error)
 	}
 	dfs(0)
 	if err != nil {
-		return nil, err
+		return expEntry{}, err
 	}
-	ds.expCache[id] = res
-	return res, nil
+	e := expEntry{maxWork: maxWork, exps: res}
+	ds.expCache[id] = e
+	return e, nil
 }
 
 func (ds *DownsetSpace) predsIncluded(counts []uint8, s int) bool {
@@ -258,6 +476,8 @@ func (ds *DownsetSpace) predsIncluded(counts []uint8, s int) bool {
 // cap). It is primarily used by tests and by the exact solver on small
 // instances.
 func (ds *DownsetSpace) AllDownsets() ([]int, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	// BFS from the empty downset adding one stage at a time.
 	var queue []int
 	queue = append(queue, ds.emptyID)
@@ -276,7 +496,7 @@ func (ds *DownsetSpace) AllDownsets() ([]int, error) {
 				continue
 			}
 			counts[y]++
-			to, err := ds.intern(counts)
+			to, err := ds.visit(counts)
 			counts[y]--
 			if err != nil {
 				return nil, err
