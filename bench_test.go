@@ -7,6 +7,8 @@
 package spgcmp_test
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 
 	"spgcmp/internal/core"
@@ -133,6 +135,163 @@ func BenchmarkTable3RandomFailures(b *testing.B) {
 				b.Fatal(err)
 			}
 			_ = res.TotalFailures()
+		}
+	}
+}
+
+// --- Campaign-scale solver reuse: the three cache layers together ---
+
+// BenchmarkCampaign measures the steady-state cost of answering the full
+// Figure 8 campaign — all 12 StreamIt applications, all 4 CCR variants, the
+// complete period-selection protocol, all five heuristics — through the
+// three reuse layers: per-instance analyses, scale-family sharing across the
+// CCR variants, and a warm campaign cache (one warming sweep runs before the
+// timer starts, modelling the long-running mapping-service pattern the
+// campaign cache exists for). Compare with BenchmarkCampaignUncached for the
+// end-to-end speedup of the reuse architecture.
+func BenchmarkCampaign(b *testing.B) {
+	cache := experiments.NewAnalysisCache(64)
+	if _, err := experiments.RunStreamItWith(4, 4, nil, 1, cache); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunStreamItWith(4, 4, nil, 1, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignUncached answers the identical campaign with every reuse
+// layer off: a fresh graph synthesis per (app, CCR) cell and a fresh,
+// cache-free instance per (heuristic, period) call — what each Solve cost
+// before the analysis cache existed. The per-cell seeds and the worker-pool
+// parallelism match BenchmarkCampaign, so the ratio between the two isolates
+// the reuse architecture rather than scheduling differences.
+func BenchmarkCampaignUncached(b *testing.B) {
+	apps := streamit.Suite()
+	pl := platform.XScale(4, 4)
+	type cellSpec struct {
+		app  streamit.App
+		ccr  float64
+		seed int64
+	}
+	var cells []cellSpec
+	for _, a := range apps {
+		for _, ccr := range []float64{a.CCR, 10, 1, 0.1} {
+			cells = append(cells, cellSpec{a, ccr, int64(1 + len(cells))})
+		}
+	}
+	runAllFresh := func(g *spg.Graph, T float64, seed int64) bool {
+		any := false
+		for _, h := range core.AllWith(core.Options{Seed: seed, DPA1DMaxStates: 60_000}) {
+			if _, err := h.Solve(core.Instance{Graph: g, Platform: pl, Period: T}); err == nil {
+				any = true
+			}
+		}
+		return any
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(cells) {
+			workers = len(cells)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range next {
+					c := cells[ci]
+					g, err := c.app.GraphWithCCR(c.ccr)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if !runAllFresh(g, 1, c.seed) {
+						continue
+					}
+					T := 1.0
+					for d := 0; d < 9; d++ {
+						if !runAllFresh(g, T/10, c.seed) {
+							break
+						}
+						T /= 10
+					}
+				}
+			}()
+		}
+		for ci := range cells {
+			next <- ci
+		}
+		close(next)
+		wg.Wait()
+	}
+}
+
+// BenchmarkSelectPeriodSweep measures one application's CCR sweep — the
+// Section 6.1 pattern of solving the same workload at every CCR variant —
+// with the variants derived as scale-family members of one base analysis:
+// reachability, band shapes, convexity verdicts, the downset lattice and the
+// cross-period speed thresholds are built once for the whole sweep.
+func BenchmarkSelectPeriodSweep(b *testing.B) {
+	a, err := streamit.ByName("DES")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := platform.XScale(4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseG, err := a.BaseGraph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := spg.NewAnalysis(baseG)
+		for ci, ccr := range []float64{a.CCR, 10, 1, 0.1} {
+			an := base.ScaleToCCR(ccr)
+			experiments.SelectPeriodAnalyzed(an, pl, int64(1+ci))
+		}
+	}
+}
+
+// BenchmarkSelectPeriodSweepUncached is the same CCR sweep with every layer
+// off: a fresh synthesis per variant and a fresh instance per (heuristic,
+// period) call.
+func BenchmarkSelectPeriodSweepUncached(b *testing.B) {
+	a, err := streamit.ByName("DES")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := platform.XScale(4, 4)
+	runAllFresh := func(g *spg.Graph, T float64, seed int64) bool {
+		any := false
+		for _, h := range core.AllWith(core.Options{Seed: seed, DPA1DMaxStates: 60_000}) {
+			if _, err := h.Solve(core.Instance{Graph: g, Platform: pl, Period: T}); err == nil {
+				any = true
+			}
+		}
+		return any
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for ci, ccr := range []float64{a.CCR, 10, 1, 0.1} {
+			g, err := a.GraphWithCCR(ccr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seed := int64(1 + ci)
+			if !runAllFresh(g, 1, seed) {
+				continue
+			}
+			T := 1.0
+			for d := 0; d < 9; d++ {
+				if !runAllFresh(g, T/10, seed) {
+					break
+				}
+				T /= 10
+			}
 		}
 	}
 }

@@ -9,11 +9,34 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 
 	"spgcmp/internal/mapping"
 	"spgcmp/internal/platform"
 	"spgcmp/internal/spg"
 )
+
+// StrictAnalysisEnv is the environment variable enabling strict analysis
+// checking: when set to anything but the empty string or "0", an Instance
+// whose Analysis wraps a different graph than Instance.Graph makes Validate
+// fail loudly instead of being silently replaced by a private cache. The
+// silent default keeps accidental mismatches safe (the mismatched cache is
+// never consulted); the strict mode exists to catch them during development
+// and in CI, where a mismatch almost always means a caller rebuilt a graph
+// but kept an old cache — quietly forfeiting every reuse benefit.
+const StrictAnalysisEnv = "SPGCMP_STRICT_ANALYSIS"
+
+// ErrAnalysisMismatch is the strict-mode validation failure: the instance
+// carries an analysis cache built for a different graph.
+var ErrAnalysisMismatch = errors.New("core: Instance.Analysis wraps a different graph than Instance.Graph")
+
+// strictAnalysis reports whether strict analysis checking is on. The
+// environment is consulted per call so tests can toggle it with t.Setenv;
+// the lookup is trivial next to any Solve.
+func strictAnalysis() bool {
+	v := os.Getenv(StrictAnalysisEnv)
+	return v != "" && v != "0"
+}
 
 // ErrNoSolution is returned when a heuristic cannot produce any valid mapping
 // for the instance: the paper records these events as failures (Tables 2
@@ -54,8 +77,14 @@ func (inst Instance) WithPeriod(T float64) Instance {
 // Analyzed returns a copy of the instance guaranteed to carry an analysis
 // cache for its graph. Heuristics call it once at the top of Solve so that
 // all internal stages share one cache even when the caller attached none.
+// Under strict analysis checking (StrictAnalysisEnv) a mismatched cache is
+// left in place instead of being replaced, so the Validate that every Solve
+// performs next fails with ErrAnalysisMismatch.
 func (inst Instance) Analyzed() Instance {
 	if inst.Graph != nil && (inst.Analysis == nil || inst.Analysis.Graph() != inst.Graph) {
+		if inst.Analysis != nil && strictAnalysis() {
+			return inst
+		}
 		inst.Analysis = spg.NewAnalysis(inst.Graph)
 	}
 	return inst
@@ -63,7 +92,9 @@ func (inst Instance) Analyzed() Instance {
 
 // Validate sanity-checks the instance. With an analysis cache attached the
 // graph validation is memoized, making repeated calls (one per heuristic per
-// period division) effectively free.
+// period division) effectively free. Under strict analysis checking
+// (StrictAnalysisEnv) a cache wrapping a different graph fails validation
+// with ErrAnalysisMismatch instead of being silently bypassed.
 func (inst Instance) Validate() error {
 	if inst.Graph == nil || inst.Platform == nil {
 		return errors.New("core: instance missing graph or platform")
@@ -72,6 +103,9 @@ func (inst Instance) Validate() error {
 	if inst.Analysis != nil && inst.Analysis.Graph() == inst.Graph {
 		err = inst.Analysis.Validate()
 	} else {
+		if inst.Analysis != nil && strictAnalysis() {
+			return ErrAnalysisMismatch
+		}
 		err = inst.Graph.Validate()
 	}
 	if err != nil {

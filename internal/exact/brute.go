@@ -36,6 +36,12 @@ type Solver struct {
 	// paper's future-work comparison between general and DAG-partition
 	// mappings. General solutions assume software-pipelined execution.
 	General bool
+	// NoSymmetry disables the grid-symmetry placement reduction (see
+	// gridSymmetries) and enumerates every injective placement, as the
+	// solver originally did. The equivalence tests diff the two paths; it is
+	// also an escape hatch should a future platform break the homogeneity
+	// assumptions the reduction relies on.
+	NoSymmetry bool
 }
 
 // NewSolver returns a solver sized for the paper's exact experiments
@@ -77,6 +83,29 @@ func (s *Solver) Solve(inst core.Instance) (*core.Solution, error) {
 	placeBuf := make([]int, 0, n) // cluster -> core permutation buffer
 	maxCoreWork := T * pl.MaxSpeed()
 
+	var syms [][]int
+	if !s.NoSymmetry {
+		syms = gridSymmetries(pl.P, pl.Q)
+	}
+	imgBuf := make([]int, n)
+	allSyms := make([]int, len(syms))
+	for i := range allSyms {
+		allSyms[i] = i
+	}
+	// Per-depth scratch rows for the surviving-symmetry lists: active sets
+	// only shrink down the tree and each row is rebuilt before the recursion
+	// that reads it, so the exponential placement enumeration stays
+	// allocation-free.
+	activeBuf := make([][]int, pl.NumCores()+1)
+	for i := range activeBuf {
+		activeBuf[i] = make([]int, 0, len(syms))
+	}
+
+	eval := mapping.Evaluate
+	if s.General {
+		eval = mapping.EvaluateGeneral
+	}
+
 	var evaluate func(k int)
 	evaluate = func(k int) {
 		if budget <= 0 {
@@ -88,30 +117,53 @@ func (s *Solver) Solve(inst core.Instance) (*core.Solution, error) {
 		if !s.General && !quotientAcyclic(g, part, k) {
 			return
 		}
-		// Try every injective placement of the k clusters.
+		// consider evaluates one concrete placement and keeps the best valid
+		// mapping; it reports whether the placement was valid.
+		consider := func(pb []int) bool {
+			m := buildMapping(g, pl, T, part, pb)
+			if m == nil {
+				return false
+			}
+			res, err := eval(g, pl, m, T)
+			if err != nil {
+				return false
+			}
+			if best == nil || res.Energy < best.Result.Energy {
+				best = &core.Solution{Heuristic: s.Name(), Mapping: m, Result: res}
+			}
+			return true
+		}
+		// Try every injective placement of the k clusters, pruned to the
+		// lexicographically minimal representative of each symmetry orbit:
+		// active lists the symmetries whose image of the current prefix still
+		// equals the prefix, so only they can decide canonicity deeper down.
 		used := make([]bool, pl.NumCores())
 		placeBuf = placeBuf[:0]
-		var place func(c int)
-		place = func(c int) {
+		var place func(c int, active []int)
+		place = func(c int, active []int) {
 			if budget <= 0 {
 				return
 			}
 			if c == k {
 				budget--
-				m := buildMapping(g, pl, T, part, placeBuf)
-				if m == nil {
+				if consider(placeBuf) {
 					return
 				}
-				eval := mapping.Evaluate
-				if s.General {
-					eval = mapping.EvaluateGeneral
-				}
-				res, err := eval(g, pl, m, T)
-				if err != nil {
-					return
-				}
-				if best == nil || res.Energy < best.Result.Energy {
-					best = &core.Solution{Heuristic: s.Name(), Mapping: m, Result: res}
+				// Energy is symmetry-invariant (cores are homogeneous and XY
+				// hop counts are Manhattan distances), but link-capacity
+				// feasibility is not: a diagonal reflection turns XY routes
+				// into YX routes, so a pruned-away orbit member can be valid
+				// where the canonical one is not. Recover by evaluating the
+				// rest of the orbit, only on this rare failure path.
+				for _, perm := range syms {
+					if budget <= 0 {
+						return
+					}
+					budget--
+					for ci, coreIdx := range placeBuf {
+						imgBuf[ci] = perm[coreIdx]
+					}
+					consider(imgBuf[:k])
 				}
 				return
 			}
@@ -119,14 +171,33 @@ func (s *Solver) Solve(inst core.Instance) (*core.Solution, error) {
 				if used[coreIdx] {
 					continue
 				}
+				// A symmetry mapping this prefix to a lexicographically
+				// smaller one proves every completion non-canonical; one
+				// mapping it to a larger prefix can never overturn canonicity
+				// below and drops out.
+				nonCanonical := false
+				child := activeBuf[c+1][:0]
+				for _, si := range active {
+					img := syms[si][coreIdx]
+					if img < coreIdx {
+						nonCanonical = true
+						break
+					}
+					if img == coreIdx {
+						child = append(child, si)
+					}
+				}
+				if nonCanonical {
+					continue
+				}
 				used[coreIdx] = true
 				placeBuf = append(placeBuf, coreIdx)
-				place(c + 1)
+				place(c+1, child)
 				placeBuf = placeBuf[:len(placeBuf)-1]
 				used[coreIdx] = false
 			}
 		}
-		place(0)
+		place(0, allSyms)
 	}
 
 	var gen func(i, k int)
@@ -199,6 +270,55 @@ func quotientAcyclic(g *spg.Graph, part []int, k int) bool {
 		}
 	}
 	return seen == k
+}
+
+// gridSymmetries returns the non-identity automorphisms of the p x q grid as
+// core-index permutations: the axis flips (horizontal, vertical, both) and —
+// on square grids — their compositions with the transpose, the full dihedral
+// group of order 8. The enumeration prunes placements that are not the
+// lexicographically minimal member of their orbit under these permutations,
+// cutting the placement work by up to the group order (~1/8 on square grids,
+// ~1/4 on rectangular ones): cores are homogeneous and hop counts are
+// Manhattan distances, so every orbit member reaches the same energy.
+// Degenerate permutations (a flip of a single-row grid is the identity) are
+// deduplicated away.
+func gridSymmetries(p, q int) [][]int {
+	type xform func(u, v int) (int, int)
+	var xfs []xform
+	flips := []xform{
+		func(u, v int) (int, int) { return u, v },
+		func(u, v int) (int, int) { return p - 1 - u, v },
+		func(u, v int) (int, int) { return u, q - 1 - v },
+		func(u, v int) (int, int) { return p - 1 - u, q - 1 - v },
+	}
+	xfs = append(xfs, flips[1:]...)
+	if p == q {
+		for _, f := range flips {
+			f := f
+			xfs = append(xfs, func(u, v int) (int, int) { return f(v, u) })
+		}
+	}
+	var perms [][]int
+	seen := make(map[string]bool)
+	id := make([]int, p*q)
+	for i := range id {
+		id[i] = i
+	}
+	seen[fmt.Sprint(id)] = true // never include the identity
+	for _, f := range xfs {
+		perm := make([]int, p*q)
+		for u := 0; u < p; u++ {
+			for v := 0; v < q; v++ {
+				nu, nv := f(u, v)
+				perm[u*q+v] = nu*q + nv
+			}
+		}
+		if key := fmt.Sprint(perm); !seen[key] {
+			seen[key] = true
+			perms = append(perms, perm)
+		}
+	}
+	return perms
 }
 
 func buildMapping(g *spg.Graph, pl *platform.Platform, T float64, part, place []int) *mapping.Mapping {

@@ -262,3 +262,146 @@ func TestGeneralNeverWorseProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestGridSymmetries: group sizes and permutation validity. A 2x2 (or any
+// square) grid has the full dihedral group of order 8 (7 non-identity
+// elements); rectangular grids keep the 3 non-identity axis flips; a 1xq
+// line keeps only its mirror.
+func TestGridSymmetries(t *testing.T) {
+	cases := []struct{ p, q, want int }{
+		{2, 2, 7}, {3, 3, 7}, {2, 3, 3}, {4, 4, 7}, {1, 4, 1}, {1, 1, 0},
+	}
+	for _, c := range cases {
+		syms := gridSymmetries(c.p, c.q)
+		if len(syms) != c.want {
+			t.Errorf("%dx%d: %d symmetries, want %d", c.p, c.q, len(syms), c.want)
+		}
+		for _, perm := range syms {
+			seen := make([]bool, c.p*c.q)
+			identity := true
+			for i, j := range perm {
+				if j < 0 || j >= c.p*c.q || seen[j] {
+					t.Fatalf("%dx%d: not a permutation: %v", c.p, c.q, perm)
+				}
+				seen[j] = true
+				if i != j {
+					identity = false
+				}
+			}
+			if identity {
+				t.Errorf("%dx%d: identity leaked into the symmetry list", c.p, c.q)
+			}
+			// Adjacency preservation: a grid automorphism maps neighbours to
+			// neighbours.
+			pl := platform.XScale(c.p, c.q)
+			for u := 0; u < c.p; u++ {
+				for v := 0; v < c.q; v++ {
+					for _, d := range [][2]int{{0, 1}, {1, 0}} {
+						a := platform.Core{U: u, V: v}
+						b := platform.Core{U: u + d[0], V: v + d[1]}
+						if !pl.InBounds(b) {
+							continue
+						}
+						ai, bi := perm[u*c.q+v], perm[b.U*c.q+b.V]
+						sa := platform.Core{U: ai / c.q, V: ai % c.q}
+						sb := platform.Core{U: bi / c.q, V: bi % c.q}
+						if !pl.Adjacent(sa, sb) {
+							t.Fatalf("%dx%d: symmetry breaks adjacency %v-%v -> %v-%v", c.p, c.q, a, b, sa, sb)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSymmetryPruningEquivalence: the symmetry-reduced enumeration must
+// agree with the unpruned one on solvability and on the optimal energy, for
+// both DAG-partition and general mappings. Orbit members are equal-energy in
+// exact arithmetic but their float sums can differ in the last ulps (core
+// energies accumulate in a permuted order), so energies are compared within
+// a tight relative tolerance rather than bitwise.
+func TestSymmetryPruningEquivalence(t *testing.T) {
+	grids := []struct{ p, q int }{{2, 2}, {2, 3}, {1, 4}}
+	for _, grid := range grids {
+		pl := platform.XScale(grid.p, grid.q)
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(200 + seed))
+			var build func(n int) *spg.Graph
+			build = func(n int) *spg.Graph {
+				if n <= 2 {
+					return spg.Primitive(1, 1, 1)
+				}
+				k := 1 + rng.Intn(n-1)
+				if rng.Intn(2) == 0 {
+					return spg.Series(build(k), build(n-k))
+				}
+				return spg.Parallel(build(k), build(n-k))
+			}
+			g := build(6)
+			spg.RandomizeWeights(g, rng, 0.01, 0.05)
+			spg.RandomizeVolumes(g, rng, 0.0001, 0.001)
+			for _, general := range []bool{false, true} {
+				inst := core.Instance{Graph: g, Platform: pl, Period: 0.15}
+				pruned := NewSolver()
+				pruned.General = general
+				full := NewSolver()
+				full.General = general
+				full.NoSymmetry = true
+				sp, errP := pruned.Solve(inst)
+				sf, errF := full.Solve(inst)
+				if (errP == nil) != (errF == nil) {
+					t.Fatalf("%dx%d seed %d general=%v: pruned err %v, full err %v",
+						grid.p, grid.q, seed, general, errP, errF)
+				}
+				if errP != nil {
+					continue
+				}
+				if math.Abs(sp.Energy()-sf.Energy()) > 1e-12*math.Max(1, sf.Energy()) {
+					t.Errorf("%dx%d seed %d general=%v: pruned %.17g != full %.17g",
+						grid.p, grid.q, seed, general, sp.Energy(), sf.Energy())
+				}
+			}
+		}
+	}
+}
+
+// TestSymmetryPruningTightCapacity drives link loads to the capacity wall
+// (huge volumes, one-period chains) where the orbit-recovery path matters:
+// the canonical representative of an orbit may route over a saturated link
+// while a reflected twin fits.
+func TestSymmetryPruningTightCapacity(t *testing.T) {
+	pl := platform.XScale(2, 2)
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(900 + seed))
+		var build func(n int) *spg.Graph
+		build = func(n int) *spg.Graph {
+			if n <= 2 {
+				return spg.Primitive(1, 1, 1)
+			}
+			k := 1 + rng.Intn(n-1)
+			if rng.Intn(2) == 0 {
+				return spg.Series(build(k), build(n-k))
+			}
+			return spg.Parallel(build(k), build(n-k))
+		}
+		g := build(6)
+		spg.RandomizeWeights(g, rng, 0.005, 0.02)
+		// Volumes near BW*T: with T = 0.05 s the per-link budget is 0.96 GB.
+		spg.RandomizeVolumes(g, rng, 0.3, 0.95)
+		inst := core.Instance{Graph: g, Platform: pl, Period: 0.05}
+		pruned, errP := NewSolver().Solve(inst)
+		full := NewSolver()
+		full.NoSymmetry = true
+		fullSol, errF := full.Solve(inst)
+		if (errP == nil) != (errF == nil) {
+			t.Fatalf("seed %d: pruned err %v, full err %v", seed, errP, errF)
+		}
+		if errP != nil {
+			continue
+		}
+		if math.Abs(pruned.Energy()-fullSol.Energy()) > 1e-12*math.Max(1, fullSol.Energy()) {
+			t.Errorf("seed %d: pruned %.17g != full %.17g", seed, pruned.Energy(), fullSol.Energy())
+		}
+	}
+}

@@ -17,13 +17,23 @@ import (
 // cache-free instance per call — and requires bit-identical outcomes.
 func checkCacheEquivalence(t *testing.T, name string, g *spg.Graph, pl *platform.Platform, seed int64) {
 	t.Helper()
-	shared := core.NewInstance(g, pl, 1.0)
+	checkInstanceEquivalence(t, name, core.NewInstance(g, pl, 1.0), g, seed)
+}
+
+// checkInstanceEquivalence is the core of the equivalence suite: shared is
+// an instance carrying a (possibly family-shared or campaign-cached)
+// analysis, uncachedG an independently built copy of the same workload; the
+// two must produce bit-identical outcomes for every heuristic at every
+// period.
+func checkInstanceEquivalence(t *testing.T, name string, shared core.Instance, uncachedG *spg.Graph, seed int64) {
+	t.Helper()
+	pl := shared.Platform
 	for _, T := range []float64{1.0, 0.1, 0.01} {
 		cached := Heuristics(seed)
 		fresh := Heuristics(seed)
 		for i, h := range cached {
 			solC, errC := h.Solve(shared.WithPeriod(T))
-			solU, errU := fresh[i].Solve(core.Instance{Graph: g, Platform: pl, Period: T})
+			solU, errU := fresh[i].Solve(core.Instance{Graph: uncachedG, Platform: pl, Period: T})
 			if (errC == nil) != (errU == nil) {
 				t.Errorf("%s/%s T=%g: cached err %v, uncached err %v", name, h.Name(), T, errC, errU)
 				continue

@@ -101,8 +101,18 @@ func anyOK(outcomes []Outcome) bool {
 // structures and the interned downset space are computed once instead of
 // once per (heuristic, period) pair.
 func SelectPeriod(g *spg.Graph, pl *platform.Platform, seed int64) (InstanceResult, bool) {
+	return SelectPeriodAnalyzed(spg.NewAnalysis(g), pl, seed)
+}
+
+// SelectPeriodAnalyzed is SelectPeriod over a pre-built (possibly shared)
+// analysis: campaigns pass scale-family members and campaign-cache hits here
+// so the protocol starts from whatever structures earlier runs on the same
+// workload family already built. The analysis is only read through its
+// concurrency-safe accessors, so one analysis may serve several concurrent
+// calls.
+func SelectPeriodAnalyzed(an *spg.Analysis, pl *platform.Platform, seed int64) (InstanceResult, bool) {
 	const maxDivisions = 9
-	inst := core.NewInstance(g, pl, 1.0)
+	inst := core.Instance{Graph: an.Graph(), Platform: pl, Period: 1.0, Analysis: an}
 	outcomes := runAll(inst, seed)
 	if !anyOK(outcomes) {
 		return InstanceResult{Period: inst.Period, Outcomes: outcomes}, false

@@ -5,6 +5,7 @@ import (
 
 	"spgcmp/internal/platform"
 	"spgcmp/internal/randspg"
+	"spgcmp/internal/spg"
 )
 
 // RandomConfig parameterizes a random-SPG campaign (one panel of
@@ -17,6 +18,14 @@ type RandomConfig struct {
 	MaxElevation  int     // last elevation: 20 (n=50) or 30 (n=150)
 	GraphsPerElev int     // 100 in the paper
 	Seed          int64
+
+	// Cache overrides the campaign-scope analysis cache: nil selects the
+	// process-wide DefaultAnalysisCache (repeated sweeps over the same
+	// configuration — e.g. the 4x4 panel re-run after the 6x6 one on
+	// identical seeds, or a service answering the same suite — skip graph
+	// generation and analysis entirely); NewAnalysisCache(0) disables the
+	// layer.
+	Cache *AnalysisCache
 }
 
 func (c RandomConfig) withDefaults() RandomConfig {
@@ -71,21 +80,31 @@ func RunRandom(cfg RandomConfig) (*RandomResult, error) {
 	cells := make([]cell, len(tasks))
 	errs := make([]error, len(tasks))
 
+	cache := cfg.Cache
+	if cache == nil {
+		cache = DefaultAnalysisCache()
+	}
 	parallelFor(len(tasks), func(i int) {
 		tk := tasks[i]
 		seed := cfg.Seed + int64(tk.elev)*1_000_003 + int64(tk.graph)*7919
-		g, err := randspg.Generate(randspg.Params{
-			N:         cfg.N,
-			Elevation: tk.elev,
-			Seed:      seed,
-			CCR:       cfg.CCR,
+		an, err := cache.Get(randomKey(cfg.N, tk.elev, seed, cfg.CCR), func() (*spg.Analysis, error) {
+			g, err := randspg.Generate(randspg.Params{
+				N:         cfg.N,
+				Elevation: tk.elev,
+				Seed:      seed,
+				CCR:       cfg.CCR,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return spg.NewAnalysis(g), nil
 		})
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		pl := platform.XScale(cfg.P, cfg.Q)
-		ir, _ := SelectPeriod(g, pl, seed)
+		ir, _ := SelectPeriodAnalyzed(an, pl, seed)
 		c := cell{invNorm: make(map[string]float64), failures: make(map[string]int)}
 		best := ir.BestEnergy()
 		for _, o := range ir.Outcomes {

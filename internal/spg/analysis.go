@@ -10,212 +10,316 @@ import (
 // elevation levels, the label grid, topological order, label-rectangle
 // prefix sums, adjacency summaries, band analyses (DPA2D) and interned
 // downset spaces (DPA1D). All of it depends only on the graph, never on the
-// platform or the period, so
-// one Analysis can be shared across every heuristic run on a workload — in
-// particular across the up-to-ten period divisions of the Section 6.1.3
-// selection protocol, which would otherwise recompute each structure from
-// scratch at every division.
+// platform or the period, so one Analysis can be shared across every
+// heuristic run on a workload — in particular across the up-to-ten period
+// divisions of the Section 6.1.3 selection protocol, which would otherwise
+// recompute each structure from scratch at every division.
 //
-// Every structure is computed lazily on first use and memoized. An Analysis
-// is safe for concurrent use by multiple goroutines, though a single mutex
-// guards all memoization: a goroutine paying for an expensive first build
-// (a large downset space, say) briefly blocks cheap getters on other
-// goroutines. The graph it wraps must not be mutated after NewAnalysis
-// (mutating the graph would silently invalidate the memoized structures).
+// Analyses form scale families. ScaleToCCR derives the analysis of a
+// uniformly volume-rescaled clone of the graph — the Section 6.1.1 CCR
+// variants — and the expensive structure-only caches (reachability, levels,
+// grids, prefix sums, band shapes with convexity verdicts, the interned
+// downset lattice with its expansion enumerations) are shared verbatim
+// across the whole family, because none of them reads an edge volume. Only
+// the volume-dependent entries (CCR, in-volumes, band crossing volumes,
+// downset cut volumes) are held per family member, and those are recomputed
+// from the member's own volumes with the same arithmetic a fresh analysis
+// would use, so a scaled analysis answers bit-identically to a from-scratch
+// one.
+//
+// Every structure is computed lazily on first use and memoized behind its
+// own sync.Once-style slot, so an expensive first build (a 150k-state
+// downset space, say) never blocks getters of other structures on concurrent
+// goroutines; only callers of the same structure wait for its first build.
+// An Analysis is safe for concurrent use by multiple goroutines. The graph
+// it wraps must not be mutated after NewAnalysis (mutating the graph would
+// silently invalidate the memoized structures).
 //
 // Accessors return internal slices for speed; callers must treat them as
 // read-only and copy before mutating.
 type Analysis struct {
-	g *Graph
+	g      *Graph
+	shared *analysisShared
 
-	mu sync.Mutex
+	// Volume-dependent, per family member.
+	ccr   lazySlot[float64]
+	inVol lazySlot[[]float64]
 
-	validated   bool
-	validateErr error
+	bandMu sync.Mutex
+	bands  []*lazySlot[*Band]
 
-	reach *Reachability
-
-	levels [][]int
-	grid   [][]int
-
-	topoDone bool
-	topo     []int
-	topoErr  error
-
-	dimsDone         bool
-	depth, elevation int
-
-	ccrDone bool
-	ccr     float64
-
-	predCounts []int
-	inVolumes  []float64
-
-	wPrefix [][]float64
-	cPrefix [][]int
-
-	// bands[m1*(depth+1)+m2] memoizes Band(m1, m2); a dense slice because
-	// the DPA2D outer DP probes bands in tight loops where map hashing is
-	// measurable.
-	bands    []*Band
+	downMu   sync.Mutex
 	downsets map[int]*downsetSlot
+
+	scaleMu sync.Mutex
+	scaled  map[float64]*Analysis
+
+	auxMu sync.Mutex
+	aux   map[any]*lazySlot[any]
 }
 
+// analysisShared is the structure-and-weight half of an analysis, shared by
+// every member of a scale family. Nothing in here reads an edge volume.
+type analysisShared struct {
+	g *Graph // structure/weight authority: the family's founding graph
+
+	validate lazySlot[error]
+	reach    lazySlot[*Reachability]
+	levels   lazySlot[[][]int]
+	grid     lazySlot[[][]int]
+	topo     lazySlot[topoMemo]
+	dims     lazySlot[dimsMemo]
+	preds    lazySlot[[]int]
+	prefix   lazySlot[prefixMemo]
+
+	// bandShapes[m1*(depth+1)+m2] memoizes the structural band analysis; a
+	// dense slice because the DPA2D outer DP probes bands in tight loops
+	// where map hashing is measurable. Cells are installed under bandMu and
+	// built under their own once, so one band's build never blocks another's.
+	bandMu     sync.Mutex
+	bandShapes []*lazySlot[*bandShape]
+
+	// downsetCores holds the per-budget interned downset lattices shared by
+	// the family's DownsetSpace views.
+	coreMu       sync.Mutex
+	downsetCores map[int]*downsetCoreCell
+
+	// aux lets downstream packages attach their own structure-or-weight
+	// caches (core's cross-period rectangle tables) to the family.
+	auxMu sync.Mutex
+	aux   map[any]*lazySlot[any]
+}
+
+type topoMemo struct {
+	order []int
+	err   error
+}
+
+type dimsMemo struct {
+	depth, elevation int
+}
+
+type prefixMemo struct {
+	w [][]float64
+	c [][]int
+}
+
+// downsetCoreCell lazily builds one budget's shared lattice core. It is a
+// mutex-based (not sync.Once-based) cell because EvictDownsetSpace must read
+// the built pointer for its identity check, and a once's completion gives no
+// happens-before edge to a goroutine that never called it.
+type downsetCoreCell struct {
+	mu    sync.Mutex
+	built bool
+	core  *downsetCore
+	err   error
+}
+
+// downsetSlot is the per-member counterpart of downsetCoreCell, holding the
+// member's volume-scale view; mutex-based for the same eviction reason.
 type downsetSlot struct {
-	ds  *DownsetSpace
-	err error
+	mu    sync.Mutex
+	built bool
+	ds    *DownsetSpace
+	err   error
 }
 
-// NewAnalysis wraps g in an empty cache. The graph's adjacency lists are
-// built eagerly so that concurrent reads through the Graph accessors
-// (Successors, OutEdges, ...) are race-free afterwards.
+// lazySlot memoizes one structure behind its own sync.Once: the first caller
+// builds, concurrent callers of the same structure wait, and callers of
+// other structures are never blocked. Embed it by value for fixed slots, or
+// heap-allocate (*lazySlot) cells for per-key tables — the owning map or
+// slice installs cells under a short lock and each cell builds outside it.
+type lazySlot[T any] struct {
+	once sync.Once
+	v    T
+}
+
+func (s *lazySlot[T]) get(build func() T) T {
+	s.once.Do(func() { s.v = build() })
+	return s.v
+}
+
+// NewAnalysis wraps g in an empty cache, founding a new scale family. The
+// graph's adjacency lists are built eagerly so that concurrent reads through
+// the Graph accessors (Successors, OutEdges, ...) are race-free afterwards.
 func NewAnalysis(g *Graph) *Analysis {
 	if g != nil {
 		g.buildAdj()
 	}
 	return &Analysis{
-		g:        g,
-		downsets: make(map[int]*downsetSlot),
+		g:      g,
+		shared: &analysisShared{g: g},
 	}
 }
 
 // Graph returns the wrapped graph.
 func (a *Analysis) Graph() *Graph { return a.g }
 
+// ScaleToCCR returns the analysis of a clone of the wrapped graph whose edge
+// volumes are uniformly rescaled so its CCR equals target — the same
+// arithmetic as the package-level ScaleToCCR, so the returned graph is
+// bit-identical to independently rescaling a copy. The result shares this
+// analysis's structural caches (see the type comment); results are memoized
+// per target, so the CCR variants of a campaign resolve to one family
+// member each. Derive every variant from the same base analysis: scaling is
+// relative to the receiver's volumes, so chained scalings compose
+// numerically instead of sharing memo entries.
+func (a *Analysis) ScaleToCCR(target float64) *Analysis {
+	if a.g == nil {
+		return a
+	}
+	a.scaleMu.Lock()
+	defer a.scaleMu.Unlock()
+	if v, ok := a.scaled[target]; ok {
+		return v
+	}
+	g2 := a.g.Clone()
+	ScaleToCCR(g2, target)
+	g2.buildAdj()
+	v := &Analysis{g: g2, shared: a.shared}
+	if a.scaled == nil {
+		a.scaled = make(map[float64]*Analysis)
+	}
+	a.scaled[target] = v
+	return v
+}
+
+// Aux returns the memoized auxiliary value for key, building it on first
+// use. It lets downstream packages attach their own caches of structure- or
+// weight-derived data to the analysis — the core package stores its
+// cross-period DPA2D rectangle tables here — with the same sharing scope as
+// the structural caches: one value per scale family, never per volume
+// variant. Keys follow the context.Context convention (unexported types in
+// the owning package). The build function must not depend on edge volumes.
+func (a *Analysis) Aux(key any, build func() any) any {
+	sh := a.shared
+	sh.auxMu.Lock()
+	if sh.aux == nil {
+		sh.aux = make(map[any]*lazySlot[any])
+	}
+	cell := sh.aux[key]
+	if cell == nil {
+		cell = &lazySlot[any]{}
+		sh.aux[key] = cell
+	}
+	sh.auxMu.Unlock()
+	return cell.get(build)
+}
+
+// MemberAux is Aux at member scope: the value is memoized per family member
+// rather than per family, for downstream caches that depend on this member's
+// edge volumes (core's DPA1D run-outcome memo keys off the member because
+// the run's cut-capacity pruning reads volumes). Same conventions as Aux.
+func (a *Analysis) MemberAux(key any, build func() any) any {
+	a.auxMu.Lock()
+	if a.aux == nil {
+		a.aux = make(map[any]*lazySlot[any])
+	}
+	cell := a.aux[key]
+	if cell == nil {
+		cell = &lazySlot[any]{}
+		a.aux[key] = cell
+	}
+	a.auxMu.Unlock()
+	return cell.get(build)
+}
+
 // Validate memoizes Graph.Validate: the first call pays the full structural
 // check, every later call returns the recorded verdict. This is what makes
-// Instance.Validate idempotent when an Analysis is attached.
+// Instance.Validate idempotent when an Analysis is attached. The verdict is
+// shared across the scale family: a uniform non-negative volume rescale can
+// change neither the structure nor any volume's sign, so every member
+// validates identically.
 func (a *Analysis) Validate() error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if !a.validated {
-		if a.g == nil {
-			a.validateErr = errors.New("spg: analysis of a nil graph")
-		} else {
-			a.validateErr = a.g.Validate()
+	return a.shared.validate.get(func() error {
+		if a.shared.g == nil {
+			return errors.New("spg: analysis of a nil graph")
 		}
-		a.validated = true
-	}
-	return a.validateErr
+		return a.shared.g.Validate()
+	})
 }
 
 // Reachability returns the memoized transitive closure.
 func (a *Analysis) Reachability() *Reachability {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.reach == nil {
-		a.reach = NewReachability(a.g)
-	}
-	return a.reach
+	sh := a.shared
+	return sh.reach.get(func() *Reachability { return NewReachability(sh.g) })
 }
 
 // Levels returns the memoized elevation levels (see the Levels function).
 func (a *Analysis) Levels() [][]int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.levelsLocked()
+	return a.shared.levelsMemo()
 }
 
-func (a *Analysis) levelsLocked() [][]int {
-	if a.levels == nil {
-		a.levels = Levels(a.g)
-	}
-	return a.levels
+func (sh *analysisShared) levelsMemo() [][]int {
+	return sh.levels.get(func() [][]int { return Levels(sh.g) })
 }
 
 // StageGrid returns the memoized Depth() x Elevation() label grid (see the
 // StageGrid function). DPA2D itself consumes the prefix sums and bands; the
 // grid form is kept for renderers, tools and tests.
 func (a *Analysis) StageGrid() [][]int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.grid == nil {
-		a.grid = StageGrid(a.g)
-	}
-	return a.grid
+	sh := a.shared
+	return sh.grid.get(func() [][]int { return StageGrid(sh.g) })
 }
 
 // TopoOrder returns the memoized topological order.
 func (a *Analysis) TopoOrder() ([]int, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.topoLocked()
+	t := a.shared.topoMemo()
+	return t.order, t.err
 }
 
-func (a *Analysis) topoLocked() ([]int, error) {
-	if !a.topoDone {
-		a.topo, a.topoErr = a.g.TopoOrder()
-		a.topoDone = true
-	}
-	return a.topo, a.topoErr
+func (sh *analysisShared) topoMemo() topoMemo {
+	return sh.topo.get(func() topoMemo {
+		order, err := sh.g.TopoOrder()
+		return topoMemo{order: order, err: err}
+	})
+}
+
+func (sh *analysisShared) dimsMemo() dimsMemo {
+	return sh.dims.get(func() dimsMemo {
+		return dimsMemo{depth: sh.g.Depth(), elevation: sh.g.Elevation()}
+	})
 }
 
 // Depth returns the memoized x_max.
-func (a *Analysis) Depth() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.dimsLocked()
-	return a.depth
-}
+func (a *Analysis) Depth() int { return a.shared.dimsMemo().depth }
 
 // Elevation returns the memoized y_max.
-func (a *Analysis) Elevation() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.dimsLocked()
-	return a.elevation
-}
+func (a *Analysis) Elevation() int { return a.shared.dimsMemo().elevation }
 
-func (a *Analysis) dimsLocked() {
-	if !a.dimsDone {
-		a.depth, a.elevation = a.g.Depth(), a.g.Elevation()
-		a.dimsDone = true
-	}
-}
-
-// CCR returns the memoized computation-to-communication ratio.
+// CCR returns the memoized computation-to-communication ratio. Volumes
+// differ per family member, so the value is held per member.
 func (a *Analysis) CCR() float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if !a.ccrDone {
-		a.ccr = CCR(a.g)
-		a.ccrDone = true
-	}
-	return a.ccr
+	return a.ccr.get(func() float64 { return CCR(a.g) })
 }
 
 // PredCounts returns, per stage, the number of distinct predecessors — the
 // initial in-degree vector the list-scheduling heuristics start from. The
 // returned slice is shared; copy before decrementing.
 func (a *Analysis) PredCounts() []int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.predCounts == nil {
-		pc := make([]int, a.g.N())
+	sh := a.shared
+	return sh.preds.get(func() []int {
+		pc := make([]int, sh.g.N())
 		for i := range pc {
-			pc[i] = len(a.g.Predecessors(i))
+			pc[i] = len(sh.g.Predecessors(i))
 		}
-		a.predCounts = pc
-	}
-	return a.predCounts
+		return pc
+	})
 }
 
 // InVolumes returns, per stage, the total incoming communication volume (the
-// sort key of the Greedy heuristic). The returned slice is shared and must
-// not be mutated.
+// sort key of the Greedy heuristic), summed from this member's own volumes
+// in edge order. The returned slice is shared and must not be mutated.
 func (a *Analysis) InVolumes() []float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.inVolumes == nil {
+	return a.inVol.get(func() []float64 {
 		iv := make([]float64, a.g.N())
 		for i := range iv {
 			for _, e := range a.g.InEdges(i) {
 				iv[i] += a.g.Edges[e].Volume
 			}
 		}
-		a.inVolumes = iv
-	}
-	return a.inVolumes
+		return iv
+	})
 }
 
 // LabelPrefixSums returns (xmax+1) x (ymax+1) 2D prefix sums over the label
@@ -224,76 +328,126 @@ func (a *Analysis) InVolumes() []float64 {
 // them for O(1) rectangle work and population queries. The returned slices
 // are shared and must not be mutated.
 func (a *Analysis) LabelPrefixSums() (w [][]float64, c [][]int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.prefixLocked()
-	return a.wPrefix, a.cPrefix
-}
-
-func (a *Analysis) prefixLocked() {
-	if a.wPrefix != nil {
-		return
-	}
-	a.dimsLocked()
-	xmax, ymax := a.depth, a.elevation
-	wp := make([][]float64, xmax+1)
-	cp := make([][]int, xmax+1)
-	for x := 0; x <= xmax; x++ {
-		wp[x] = make([]float64, ymax+1)
-		cp[x] = make([]int, ymax+1)
-	}
-	for _, s := range a.g.Stages {
-		wp[s.Label.X][s.Label.Y] += s.Weight
-		cp[s.Label.X][s.Label.Y]++
-	}
-	for x := 1; x <= xmax; x++ {
-		for y := 1; y <= ymax; y++ {
-			wp[x][y] += wp[x-1][y] + wp[x][y-1] - wp[x-1][y-1]
-			cp[x][y] += cp[x-1][y] + cp[x][y-1] - cp[x-1][y-1]
+	sh := a.shared
+	m := sh.prefix.get(func() prefixMemo {
+		dims := sh.dimsMemo()
+		xmax, ymax := dims.depth, dims.elevation
+		wp := make([][]float64, xmax+1)
+		cp := make([][]int, xmax+1)
+		for x := 0; x <= xmax; x++ {
+			wp[x] = make([]float64, ymax+1)
+			cp[x] = make([]int, ymax+1)
 		}
-	}
-	a.wPrefix, a.cPrefix = wp, cp
+		for _, s := range sh.g.Stages {
+			wp[s.Label.X][s.Label.Y] += s.Weight
+			cp[s.Label.X][s.Label.Y]++
+		}
+		for x := 1; x <= xmax; x++ {
+			for y := 1; y <= ymax; y++ {
+				wp[x][y] += wp[x-1][y] + wp[x][y-1] - wp[x-1][y-1]
+				cp[x][y] += cp[x-1][y] + cp[x][y-1] - cp[x-1][y-1]
+			}
+		}
+		return prefixMemo{w: wp, c: cp}
+	})
+	return m.w, m.c
 }
 
 // Band returns (building and memoizing on first use) the platform- and
 // period-independent analysis of the band of x levels [m1..m2] used by the
-// DPA2D nested dynamic program. Bands are shared between DPA2D, its
-// transposed variant and DPA2D1D, and across all period divisions of the
-// selection protocol.
+// DPA2D nested dynamic program. The structural half is shared across the
+// scale family; the crossing volumes are this member's own. Bands are shared
+// between DPA2D, its transposed variant and DPA2D1D, and across all period
+// divisions of the selection protocol.
 func (a *Analysis) Band(m1, m2 int) *Band {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.dimsLocked()
+	depth := a.Depth()
+	key := m1*(depth+1) + m2
+	a.bandMu.Lock()
 	if a.bands == nil {
-		a.bands = make([]*Band, (a.depth+1)*(a.depth+1))
+		a.bands = make([]*lazySlot[*Band], (depth+1)*(depth+1))
 	}
-	key := m1*(a.depth+1) + m2
-	if b := a.bands[key]; b != nil {
-		return b
+	cell := a.bands[key]
+	if cell == nil {
+		cell = &lazySlot[*Band]{}
+		a.bands[key] = cell
 	}
-	topo, _ := a.topoLocked()
-	b := newBand(a.g, topo, a.elevation, m1, m2)
-	a.bands[key] = b
-	return b
+	a.bandMu.Unlock()
+	return cell.get(func() *Band {
+		shape := a.shared.bandShape(m1, m2)
+		return newBandAt(shape, a.g)
+	})
+}
+
+func (sh *analysisShared) bandShape(m1, m2 int) *bandShape {
+	dims := sh.dimsMemo()
+	key := m1*(dims.depth+1) + m2
+	sh.bandMu.Lock()
+	if sh.bandShapes == nil {
+		sh.bandShapes = make([]*lazySlot[*bandShape], (dims.depth+1)*(dims.depth+1))
+	}
+	cell := sh.bandShapes[key]
+	if cell == nil {
+		cell = &lazySlot[*bandShape]{}
+		sh.bandShapes[key] = cell
+	}
+	sh.bandMu.Unlock()
+	return cell.get(func() *bandShape {
+		topo := sh.topoMemo()
+		return newBandShape(sh.g, topo.order, dims.elevation, m1, m2)
+	})
 }
 
 // DownsetSpace returns the memoized admissible-subgraph space for the given
 // state budget, creating it on first use. Spaces are keyed by budget so that
 // configurations with different caps (library default vs experiment
 // campaigns) never observe each other's limits; within one budget the
-// interned states persist across runs, and per-run budget accounting is
-// handled by DownsetSpace.BeginRun.
+// interned lattice persists across runs — and is shared with the scale
+// family's sibling members, which hold their own volume-dependent views over
+// it — while per-run budget accounting is handled by DownsetSpace.BeginRun.
 func (a *Analysis) DownsetSpace(maxStates int) (*DownsetSpace, error) {
 	maxStates = normalizeStateBudget(maxStates)
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	slot, ok := a.downsets[maxStates]
-	if !ok {
-		ds, err := newDownsetSpace(a.g, a.levelsLocked(), maxStates)
-		slot = &downsetSlot{ds: ds, err: err}
+	a.downMu.Lock()
+	if a.downsets == nil {
+		a.downsets = make(map[int]*downsetSlot)
+	}
+	slot := a.downsets[maxStates]
+	if slot == nil {
+		slot = &downsetSlot{}
 		a.downsets[maxStates] = slot
 	}
+	a.downMu.Unlock()
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if !slot.built {
+		core, err := a.shared.downsetCore(maxStates, a.shared.levelsMemo())
+		if err != nil {
+			slot.err = err
+		} else {
+			slot.ds = core.viewFor(a.g)
+		}
+		slot.built = true
+	}
 	return slot.ds, slot.err
+}
+
+func (sh *analysisShared) downsetCore(maxStates int, levels [][]int) (*downsetCore, error) {
+	sh.coreMu.Lock()
+	if sh.downsetCores == nil {
+		sh.downsetCores = make(map[int]*downsetCoreCell)
+	}
+	cell := sh.downsetCores[maxStates]
+	if cell == nil {
+		cell = &downsetCoreCell{}
+		sh.downsetCores[maxStates] = cell
+	}
+	sh.coreMu.Unlock()
+	cell.mu.Lock()
+	defer cell.mu.Unlock()
+	if !cell.built {
+		cell.core, cell.err = newDownsetCore(sh.g, levels, maxStates)
+		cell.built = true
+	}
+	return cell.core, cell.err
 }
 
 // EvictDownsetSpace drops the memoized space for the given budget, provided
@@ -304,12 +458,34 @@ func (a *Analysis) DownsetSpace(maxStates int) (*DownsetSpace, error) {
 // partially enumerated space, so keeping it would grow memory without bound
 // across runs and slow every later enumeration behind a bloated intern
 // table. Dropping it keeps failed runs on exactly the same footing as a
-// fresh space.
+// fresh space. The family-shared lattice core is evicted alongside the view
+// when the view still wraps it; sibling members that already hold views over
+// the old core keep them (they stay correct — run epochs make the budget
+// accounting history-independent) until their own next eviction.
 func (a *Analysis) EvictDownsetSpace(maxStates int, ds *DownsetSpace) {
 	maxStates = normalizeStateBudget(maxStates)
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if slot, ok := a.downsets[maxStates]; ok && slot.ds == ds {
-		delete(a.downsets, maxStates)
+	a.downMu.Lock()
+	if slot, ok := a.downsets[maxStates]; ok {
+		slot.mu.Lock()
+		match := slot.built && slot.ds == ds
+		slot.mu.Unlock()
+		if match {
+			delete(a.downsets, maxStates)
+		}
 	}
+	a.downMu.Unlock()
+	if ds == nil {
+		return
+	}
+	sh := a.shared
+	sh.coreMu.Lock()
+	if cell, ok := sh.downsetCores[maxStates]; ok {
+		cell.mu.Lock()
+		match := cell.built && cell.core == ds.core
+		cell.mu.Unlock()
+		if match {
+			delete(sh.downsetCores, maxStates)
+		}
+	}
+	sh.coreMu.Unlock()
 }

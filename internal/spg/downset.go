@@ -25,6 +25,15 @@ var ErrStateLimit = errors.New("spg: admissible-subgraph state limit exceeded")
 // in the paper's complexity analysis). Downsets are interned lazily and
 // addressed by dense integer ids.
 //
+// A DownsetSpace is a view over a shared structural core. The core holds
+// everything that depends only on the graph's shape and stage weights — the
+// interned states, the expansion enumerations (chunk works are weight sums)
+// and the run-budget accounting — and is shared across every volume scale of
+// a graph family: the CCR variants of a workload enumerate one lattice. The
+// view owns the volume-dependent outgoing-cut cache (Cout), recomputed per
+// scale from its own graph with the same arithmetic a fresh space would use,
+// so scaled views answer bit-identically to freshly built spaces.
+//
 // A space may be reused across several solver runs (Analysis.DownsetSpace
 // hands the same space to every DPA1D run on a workload): interned states
 // persist, while the state budget is accounted per run. A run is the span
@@ -36,7 +45,20 @@ var ErrStateLimit = errors.New("spg: admissible-subgraph state limit exceeded")
 //
 // All methods are safe for concurrent use.
 type DownsetSpace struct {
-	g          *Graph
+	core *downsetCore
+	g    *Graph // this scale's graph: volumes for Cout
+
+	// coutCache memoizes, per downset id, the aggregated volume of the edges
+	// leaving the downset under this scale's volumes (negative = uncomputed).
+	// Guarded by core.mu, like every other per-id table.
+	coutCache []float64
+}
+
+// downsetCore is the scale-independent half of a DownsetSpace: interning,
+// expansion enumeration and run accounting. Views sharing a core serialize
+// their runs through the core's run lock.
+type downsetCore struct {
+	g          *Graph  // structure/weight authority (any family member)
 	levels     [][]int // stages per elevation level, in chain (x) order
 	levelOf    []int   // stage -> level index (y-1)
 	posInLevel []int   // stage -> position within its level chain
@@ -49,11 +71,10 @@ type DownsetSpace struct {
 	// hold it for the duration of a Solve via LockRun/UnlockRun.
 	runMu sync.Mutex
 
-	mu        sync.Mutex
-	ids       map[string]int
-	counts    [][]uint8 // id -> per-level inclusion counts
-	size      []int     // id -> number of included stages
-	coutCache []float64 // id -> outgoing cut volume (negative = uncomputed)
+	mu     sync.Mutex
+	ids    map[string]int
+	counts [][]uint8 // id -> per-level inclusion counts
+	size   []int     // id -> number of included stages
 
 	lastSeen   []int // id -> epoch that last touched it
 	epoch      int
@@ -108,6 +129,14 @@ func NewDownsetSpace(g *Graph, maxStates int) (*DownsetSpace, error) {
 // newDownsetSpace is NewDownsetSpace with the elevation levels supplied by
 // the caller (Analysis passes its memoized copy; the space only reads them).
 func newDownsetSpace(g *Graph, levels [][]int, maxStates int) (*DownsetSpace, error) {
+	core, err := newDownsetCore(g, levels, maxStates)
+	if err != nil {
+		return nil, err
+	}
+	return core.viewFor(g), nil
+}
+
+func newDownsetCore(g *Graph, levels [][]int, maxStates int) (*downsetCore, error) {
 	maxStates = normalizeStateBudget(maxStates)
 	for _, lv := range levels {
 		if len(lv) > 255 {
@@ -115,7 +144,7 @@ func newDownsetSpace(g *Graph, levels [][]int, maxStates int) (*DownsetSpace, er
 		}
 	}
 	n := g.N()
-	ds := &DownsetSpace{
+	c := &downsetCore{
 		g:          g,
 		levels:     levels,
 		levelOf:    make([]int, n),
@@ -128,16 +157,16 @@ func newDownsetSpace(g *Graph, levels [][]int, maxStates int) (*DownsetSpace, er
 	}
 	for y, lv := range levels {
 		for p, s := range lv {
-			ds.levelOf[s] = y
-			ds.posInLevel[s] = p
+			c.levelOf[s] = y
+			c.posInLevel[s] = p
 		}
 	}
 	for i := 0; i < n; i++ {
-		ds.preds[i] = g.Predecessors(i)
+		c.preds[i] = g.Predecessors(i)
 	}
 	empty := make([]uint8, len(levels))
 	var err error
-	ds.emptyID, err = ds.visit(empty)
+	c.emptyID, err = c.visit(empty)
 	if err != nil {
 		return nil, err
 	}
@@ -145,17 +174,24 @@ func newDownsetSpace(g *Graph, levels [][]int, maxStates int) (*DownsetSpace, er
 	for y, lv := range levels {
 		full[y] = uint8(len(lv))
 	}
-	ds.fullID, err = ds.visit(full)
+	c.fullID, err = c.visit(full)
 	if err != nil {
 		return nil, err
 	}
-	return ds, nil
+	return c, nil
+}
+
+// viewFor binds the core to one volume scale. The view starts with an empty
+// cut cache; the interned lattice and run accounting are the core's.
+func (c *downsetCore) viewFor(g *Graph) *DownsetSpace {
+	return &DownsetSpace{core: c, g: g}
 }
 
 // BeginRun opens a fresh budget epoch: the run that follows may touch up to
 // maxStates distinct downsets (the empty and full sets count, as they do for
 // a freshly constructed space). Solvers call it once per Solve so that a
-// space shared across periods behaves exactly like a per-run space.
+// space shared across periods — or across the volume scales of a graph
+// family — behaves exactly like a per-run space.
 //
 // Within an epoch every touched downset also receives a dense run index
 // (its position in touch order, empty = 0, full = 1). Because touches happen
@@ -165,125 +201,126 @@ func newDownsetSpace(g *Graph, levels [][]int, maxStates int) (*DownsetSpace, er
 // identical either way — and sized by this run's states, not by whatever
 // earlier runs left interned.
 func (ds *DownsetSpace) BeginRun() {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	ds.epoch++
-	ds.runIDs = ds.runIDs[:0]
+	c := ds.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	c.runIDs = c.runIDs[:0]
 	// The constructor counts the empty and full sets; mirror that here so a
 	// warmed run's accounting matches a fresh space's.
-	_ = ds.touch(ds.emptyID)
-	_ = ds.touch(ds.fullID)
+	_ = c.touch(c.emptyID)
+	_ = c.touch(c.fullID)
 }
 
 // LockRun gives the caller exclusive use of the run-scoped API — BeginRun,
 // RunCount, RunID, CoutRun, ExpansionsInRun — until UnlockRun. Run indices
 // are only meaningful within their own epoch, so a solver sharing the space
-// with other goroutines must hold the run lock for its whole Solve; the
-// per-method mutex alone cannot prevent a concurrent BeginRun from
-// invalidating indices mid-run.
-func (ds *DownsetSpace) LockRun() { ds.runMu.Lock() }
+// with other goroutines (or sharing its core with sibling volume scales)
+// must hold the run lock for its whole Solve; the per-method mutex alone
+// cannot prevent a concurrent BeginRun from invalidating indices mid-run.
+func (ds *DownsetSpace) LockRun() { ds.core.runMu.Lock() }
 
 // UnlockRun releases the exclusivity acquired by LockRun.
-func (ds *DownsetSpace) UnlockRun() { ds.runMu.Unlock() }
+func (ds *DownsetSpace) UnlockRun() { ds.core.runMu.Unlock() }
 
 // RunCount returns the number of distinct downsets touched in the current
 // run (epoch).
 func (ds *DownsetSpace) RunCount() int {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	return len(ds.runIDs)
+	ds.core.mu.Lock()
+	defer ds.core.mu.Unlock()
+	return len(ds.core.runIDs)
 }
 
 // RunID returns the global id of the downset with run index k.
 func (ds *DownsetSpace) RunID(k int) int {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	return ds.runIDs[k]
+	ds.core.mu.Lock()
+	defer ds.core.mu.Unlock()
+	return ds.core.runIDs[k]
 }
 
 // EmptyID returns the id of the empty downset.
-func (ds *DownsetSpace) EmptyID() int { return ds.emptyID }
+func (ds *DownsetSpace) EmptyID() int { return ds.core.emptyID }
 
 // FullID returns the id of the complete stage set.
-func (ds *DownsetSpace) FullID() int { return ds.fullID }
+func (ds *DownsetSpace) FullID() int { return ds.core.fullID }
 
 // NumStates returns the number of downsets interned so far.
 func (ds *DownsetSpace) NumStates() int {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	return len(ds.counts)
+	ds.core.mu.Lock()
+	defer ds.core.mu.Unlock()
+	return len(ds.core.counts)
 }
 
 // Size returns the number of stages in downset id.
 func (ds *DownsetSpace) Size(id int) int {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	return ds.size[id]
+	ds.core.mu.Lock()
+	defer ds.core.mu.Unlock()
+	return ds.core.size[id]
 }
 
 // touch records that the current run uses downset id, charging the run
-// budget and assigning the run index on the first touch. Callers hold ds.mu.
-func (ds *DownsetSpace) touch(id int) error {
-	if ds.lastSeen[id] == ds.epoch {
+// budget and assigning the run index on the first touch. Callers hold c.mu.
+func (c *downsetCore) touch(id int) error {
+	if c.lastSeen[id] == c.epoch {
 		return nil
 	}
-	if len(ds.runIDs) >= ds.maxStates {
+	if len(c.runIDs) >= c.maxStates {
 		return ErrStateLimit
 	}
-	ds.lastSeen[id] = ds.epoch
-	ds.runIndexOf[id] = len(ds.runIDs)
-	ds.runIDs = append(ds.runIDs, id)
+	c.lastSeen[id] = c.epoch
+	c.runIndexOf[id] = len(c.runIDs)
+	c.runIDs = append(c.runIDs, id)
 	return nil
 }
 
 // visit returns the id of the downset with the given counts, interning it if
 // new, and charges the run budget (through touch, the single charging path).
-// Callers hold ds.mu.
-func (ds *DownsetSpace) visit(counts []uint8) (int, error) {
+// Callers hold c.mu.
+func (c *downsetCore) visit(counts []uint8) (int, error) {
 	key := string(counts)
-	if id, ok := ds.ids[key]; ok {
-		return id, ds.touch(id)
+	if id, ok := c.ids[key]; ok {
+		return id, c.touch(id)
 	}
 	// Check the budget before interning so a rejected state is not retained;
-	// with ds.mu held, touch below then succeeds on the same condition.
-	if len(ds.runIDs) >= ds.maxStates {
+	// with c.mu held, touch below then succeeds on the same condition.
+	if len(c.runIDs) >= c.maxStates {
 		return -1, ErrStateLimit
 	}
-	id := len(ds.counts)
+	id := len(c.counts)
 	cp := make([]uint8, len(counts))
 	copy(cp, counts)
-	ds.ids[key] = id
-	ds.counts = append(ds.counts, cp)
+	c.ids[key] = id
+	c.counts = append(c.counts, cp)
 	sz := 0
-	for _, c := range cp {
-		sz += int(c)
+	for _, cnt := range cp {
+		sz += int(cnt)
 	}
-	ds.size = append(ds.size, sz)
-	ds.coutCache = append(ds.coutCache, -1)
-	ds.lastSeen = append(ds.lastSeen, 0) // 0 predates every epoch: untouched
-	ds.runIndexOf = append(ds.runIndexOf, 0)
-	return id, ds.touch(id)
+	c.size = append(c.size, sz)
+	c.lastSeen = append(c.lastSeen, 0) // 0 predates every epoch: untouched
+	c.runIndexOf = append(c.runIndexOf, 0)
+	return id, c.touch(id)
 }
 
 // Contains reports whether stage s belongs to downset id.
 func (ds *DownsetSpace) Contains(id, s int) bool {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	return ds.contains(id, s)
+	ds.core.mu.Lock()
+	defer ds.core.mu.Unlock()
+	return ds.core.contains(id, s)
 }
 
-func (ds *DownsetSpace) contains(id, s int) bool {
-	return ds.posInLevel[s] < int(ds.counts[id][ds.levelOf[s]])
+func (c *downsetCore) contains(id, s int) bool {
+	return c.posInLevel[s] < int(c.counts[id][c.levelOf[s]])
 }
 
 // Members returns the stages of downset id in no particular order.
 func (ds *DownsetSpace) Members(id int) []int {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	out := make([]int, 0, ds.size[id])
-	for y, c := range ds.counts[id] {
-		for p := 0; p < int(c); p++ {
-			out = append(out, ds.levels[y][p])
+	c := ds.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, c.size[id])
+	for y, cnt := range c.counts[id] {
+		for p := 0; p < int(cnt); p++ {
+			out = append(out, c.levels[y][p])
 		}
 	}
 	return out
@@ -293,13 +330,14 @@ func (ds *DownsetSpace) Members(id int) []int {
 // only meaningful when from is a subset of to, which holds for ids produced
 // by Expansions.
 func (ds *DownsetSpace) Diff(from, to int) []int {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	cf, ct := ds.counts[from], ds.counts[to]
+	c := ds.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cf, ct := c.counts[from], c.counts[to]
 	var out []int
 	for y := range cf {
 		for p := int(cf[y]); p < int(ct[y]); p++ {
-			out = append(out, ds.levels[y][p])
+			out = append(out, c.levels[y][p])
 		}
 	}
 	return out
@@ -308,28 +346,34 @@ func (ds *DownsetSpace) Diff(from, to int) []int {
 // Cout returns the aggregated volume of the edges leaving downset id (source
 // inside, destination outside). On a uni-directional uni-line CMP this is
 // exactly the load of the link separating the downset's processors from the
-// rest, the quantity bounded by BW*T in Theorem 1. Values are graph-only and
-// cached for the lifetime of the space, across runs.
+// rest, the quantity bounded by BW*T in Theorem 1. Values are cached per
+// volume scale for the lifetime of the view, across runs; each scale's cache
+// is filled by summing that scale's edge volumes in edge order — the same
+// arithmetic a fresh space would use.
 func (ds *DownsetSpace) Cout(id int) float64 {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
+	ds.core.mu.Lock()
+	defer ds.core.mu.Unlock()
 	return ds.coutLocked(id)
 }
 
 // CoutRun is Cout keyed by the run index of the downset.
 func (ds *DownsetSpace) CoutRun(k int) float64 {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	return ds.coutLocked(ds.runIDs[k])
+	ds.core.mu.Lock()
+	defer ds.core.mu.Unlock()
+	return ds.coutLocked(ds.core.runIDs[k])
 }
 
 func (ds *DownsetSpace) coutLocked(id int) float64 {
+	for len(ds.coutCache) <= id {
+		ds.coutCache = append(ds.coutCache, -1)
+	}
 	if v := ds.coutCache[id]; v >= 0 {
 		return v
 	}
+	c := ds.core
 	var total float64
 	for _, e := range ds.g.Edges {
-		if ds.contains(id, e.Src) && !ds.contains(id, e.Dst) {
+		if c.contains(id, e.Src) && !c.contains(id, e.Dst) {
 			total += e.Volume
 		}
 	}
@@ -342,20 +386,21 @@ func (ds *DownsetSpace) coutLocked(id int) float64 {
 // The run budget is charged for id and every returned downset, in
 // enumeration order, so replays and fresh enumerations account identically.
 func (ds *DownsetSpace) Expansions(id int, maxWork float64) ([]Expansion, error) {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	entry, err := ds.ensureExpansionsLocked(id, maxWork)
+	c := ds.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entry, err := c.ensureExpansionsLocked(id, maxWork)
 	if err != nil {
 		return nil, err
 	}
 	if entry.maxWork == maxWork {
-		if err := ds.replayLocked(entry, maxWork, func(Expansion) {}); err != nil {
+		if err := c.replayLocked(entry, maxWork, func(Expansion) {}); err != nil {
 			return nil, err
 		}
 		return entry.exps, nil
 	}
 	out := make([]Expansion, 0, len(entry.exps))
-	err = ds.replayLocked(entry, maxWork, func(ex Expansion) { out = append(out, ex) })
+	err = c.replayLocked(entry, maxWork, func(ex Expansion) { out = append(out, ex) })
 	if err != nil {
 		return nil, err
 	}
@@ -367,16 +412,17 @@ func (ds *DownsetSpace) Expansions(id int, maxWork float64) ([]Expansion, error)
 // This is the DPA1D entry point: run indices are dense and identical between
 // fresh and warmed spaces, so the DP can key its tables by them directly.
 func (ds *DownsetSpace) ExpansionsInRun(k int, maxWork float64) ([]Expansion, error) {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	entry, err := ds.ensureExpansionsLocked(ds.runIDs[k], maxWork)
+	c := ds.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entry, err := c.ensureExpansionsLocked(c.runIDs[k], maxWork)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Expansion, 0, len(entry.exps))
-	err = ds.replayLocked(entry, maxWork, func(ex Expansion) {
+	err = c.replayLocked(entry, maxWork, func(ex Expansion) {
 		// Every emitted To was just touched, so its run index is current.
-		out = append(out, Expansion{To: ds.runIndexOf[ex.To], ChunkWork: ex.ChunkWork})
+		out = append(out, Expansion{To: c.runIndexOf[ex.To], ChunkWork: ex.ChunkWork})
 	})
 	if err != nil {
 		return nil, err
@@ -388,13 +434,13 @@ func (ds *DownsetSpace) ExpansionsInRun(k int, maxWork float64) ([]Expansion, er
 // budget: it charges the run budget for every fitting expansion in
 // enumeration order — the exact accounting a fresh DFS would perform, which
 // is what keeps warmed and fresh spaces bit-identical — and hands each one
-// to emit. Callers hold ds.mu.
-func (ds *DownsetSpace) replayLocked(entry expEntry, maxWork float64, emit func(Expansion)) error {
+// to emit. Callers hold c.mu.
+func (c *downsetCore) replayLocked(entry expEntry, maxWork float64, emit func(Expansion)) error {
 	for _, ex := range entry.exps {
 		if ex.ChunkWork > maxWork {
 			continue
 		}
-		if err := ds.touch(ex.To); err != nil {
+		if err := c.touch(ex.To); err != nil {
 			return err
 		}
 		emit(ex)
@@ -407,16 +453,18 @@ func (ds *DownsetSpace) replayLocked(entry expEntry, maxWork float64, emit func(
 // larger one) exists. The DFS charges the run budget for every state it
 // visits; replayed entries charge only id here, leaving the per-expansion
 // touches to the caller's filter loop so the accounting order matches a
-// fresh enumeration. Callers hold ds.mu and must not modify entry.exps.
-func (ds *DownsetSpace) ensureExpansionsLocked(id int, maxWork float64) (expEntry, error) {
-	if e, ok := ds.expCache[id]; ok && e.maxWork >= maxWork {
-		return e, ds.touch(id)
+// fresh enumeration. Chunk works are stage-weight sums, so one enumeration
+// serves every volume scale sharing the core. Callers hold c.mu and must not
+// modify entry.exps.
+func (c *downsetCore) ensureExpansionsLocked(id int, maxWork float64) (expEntry, error) {
+	if e, ok := c.expCache[id]; ok && e.maxWork >= maxWork {
+		return e, c.touch(id)
 	}
-	if err := ds.touch(id); err != nil {
+	if err := c.touch(id); err != nil {
 		return expEntry{}, err
 	}
-	counts := make([]uint8, len(ds.counts[id]))
-	copy(counts, ds.counts[id])
+	counts := make([]uint8, len(c.counts[id]))
+	copy(counts, c.counts[id])
 	seen := map[string]bool{string(counts): true}
 	var res []Expansion
 	var err error
@@ -427,15 +475,15 @@ func (ds *DownsetSpace) ensureExpansionsLocked(id int, maxWork float64) (expEntr
 		}
 		for y := range counts {
 			p := int(counts[y])
-			if p >= len(ds.levels[y]) {
+			if p >= len(c.levels[y]) {
 				continue
 			}
-			s := ds.levels[y][p]
-			w := work + ds.g.Stages[s].Weight
+			s := c.levels[y][p]
+			w := work + c.g.Stages[s].Weight
 			if w > maxWork {
 				continue
 			}
-			if !ds.predsIncluded(counts, s) {
+			if !c.predsIncluded(counts, s) {
 				continue
 			}
 			counts[y]++
@@ -443,7 +491,7 @@ func (ds *DownsetSpace) ensureExpansionsLocked(id int, maxWork float64) (expEntr
 			if !seen[key] {
 				seen[key] = true
 				var to int
-				to, err = ds.visit(counts)
+				to, err = c.visit(counts)
 				if err != nil {
 					counts[y]--
 					return
@@ -459,13 +507,13 @@ func (ds *DownsetSpace) ensureExpansionsLocked(id int, maxWork float64) (expEntr
 		return expEntry{}, err
 	}
 	e := expEntry{maxWork: maxWork, exps: res}
-	ds.expCache[id] = e
+	c.expCache[id] = e
 	return e, nil
 }
 
-func (ds *DownsetSpace) predsIncluded(counts []uint8, s int) bool {
-	for _, p := range ds.preds[s] {
-		if ds.posInLevel[p] >= int(counts[ds.levelOf[p]]) {
+func (c *downsetCore) predsIncluded(counts []uint8, s int) bool {
+	for _, p := range c.preds[s] {
+		if c.posInLevel[p] >= int(counts[c.levelOf[p]]) {
 			return false
 		}
 	}
@@ -476,27 +524,28 @@ func (ds *DownsetSpace) predsIncluded(counts []uint8, s int) bool {
 // cap). It is primarily used by tests and by the exact solver on small
 // instances.
 func (ds *DownsetSpace) AllDownsets() ([]int, error) {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
+	c := ds.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	// BFS from the empty downset adding one stage at a time.
 	var queue []int
-	queue = append(queue, ds.emptyID)
-	visited := map[int]bool{ds.emptyID: true}
-	counts := make([]uint8, len(ds.levels))
+	queue = append(queue, c.emptyID)
+	visited := map[int]bool{c.emptyID: true}
+	counts := make([]uint8, len(c.levels))
 	for qi := 0; qi < len(queue); qi++ {
 		id := queue[qi]
-		copy(counts, ds.counts[id])
+		copy(counts, c.counts[id])
 		for y := range counts {
 			p := int(counts[y])
-			if p >= len(ds.levels[y]) {
+			if p >= len(c.levels[y]) {
 				continue
 			}
-			s := ds.levels[y][p]
-			if !ds.predsIncluded(counts, s) {
+			s := c.levels[y][p]
+			if !c.predsIncluded(counts, s) {
 				continue
 			}
 			counts[y]++
-			to, err := ds.visit(counts)
+			to, err := c.visit(counts)
 			counts[y]--
 			if err != nil {
 				return nil, err

@@ -60,10 +60,13 @@ func ByName(name string) (App, error) {
 // Graph synthesizes the workflow with its original CCR.
 func (a App) Graph() (*spg.Graph, error) { return a.GraphWithCCR(a.CCR) }
 
-// GraphWithCCR synthesizes the workflow and rescales its communication
-// volumes so that the total-computation over total-communication ratio
-// equals ccr, as done in Section 6.1.1.
-func (a App) GraphWithCCR(ccr float64) (*spg.Graph, error) {
+// BaseGraph synthesizes the workflow with its raw, pre-scaling communication
+// volumes — the common ancestor of every CCR variant. Campaigns analyze the
+// base once and derive the variants through spg.Analysis.ScaleToCCR, which
+// shares the structural analysis across the whole family; GraphWithCCR(c) is
+// exactly BaseGraph followed by spg.ScaleToCCR(g, c), so both routes yield
+// bit-identical graphs.
+func (a App) BaseGraph() (*spg.Graph, error) {
 	rng := rand.New(rand.NewSource(int64(a.Index) * 7919))
 	g, err := spg.BuildShape(a.N, a.YMax, a.XMax, rng)
 	if err != nil {
@@ -71,8 +74,19 @@ func (a App) GraphWithCCR(ccr float64) (*spg.Graph, error) {
 	}
 	spg.RandomizeWeights(g, rng, 0.01, 0.1)
 	spg.RandomizeVolumes(g, rng, 0.5, 1.5)
-	spg.ScaleToCCR(g, ccr)
 	g.Stages[0].Name = a.Name
+	return g, nil
+}
+
+// GraphWithCCR synthesizes the workflow and rescales its communication
+// volumes so that the total-computation over total-communication ratio
+// equals ccr, as done in Section 6.1.1.
+func (a App) GraphWithCCR(ccr float64) (*spg.Graph, error) {
+	g, err := a.BaseGraph()
+	if err != nil {
+		return nil, err
+	}
+	spg.ScaleToCCR(g, ccr)
 	return g, nil
 }
 
