@@ -7,11 +7,14 @@
 package spgcmp_test
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
 
 	"spgcmp/internal/core"
+	"spgcmp/internal/engine"
 	"spgcmp/internal/exact"
 	"spgcmp/internal/experiments"
 	"spgcmp/internal/platform"
@@ -619,4 +622,107 @@ func (devnull) Write(p []byte) (int, error) { return len(p), nil }
 // transposed one on a representative workload.
 func BenchmarkAblationDPA2DTranspose(b *testing.B) {
 	benchHeuristic(b, &core.DPA2D{Transpose: true}, fmRadioInstance(b))
+}
+
+// --- Campaign engine: cells + pluggable executor vs the legacy inline loop ---
+
+// benchEngineCache returns a campaign cache pre-warmed with one full pass of
+// the reduced suite, modelling the steady state of a long-running service.
+func benchEngineCache(b *testing.B, apps []streamit.App) *engine.AnalysisCache {
+	b.Helper()
+	cache := experiments.NewAnalysisCache(64)
+	if _, err := experiments.RunStreamItWith(4, 4, apps, 1, cache); err != nil {
+		b.Fatal(err)
+	}
+	return cache
+}
+
+// BenchmarkEngineCampaign measures a warm StreamIt campaign through the
+// engine path: cell enumeration, the pool executor, and the indexed
+// order-independent reducer. Compare with BenchmarkEngineCampaignLegacy —
+// the pre-engine monolithic loop over the same warm cache — to see what the
+// cell/executor indirection costs (it should be noise next to the solves).
+func BenchmarkEngineCampaign(b *testing.B) {
+	apps := benchApps(b)
+	cache := benchEngineCache(b, apps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := engine.Run(context.Background(), nil, engine.Campaign{
+			Cells: experiments.StreamItCells(4, 4, apps, 1),
+			Cache: cache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.ReduceStreamIt(4, 4, apps, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCampaignLegacy reproduces the pre-engine campaign loop over
+// the same warm cache: serial base-analysis resolution per application, an
+// inline worker pool over the CCR variants, and direct writes into the
+// result table — the shape RunStreamItWith had before it became an engine
+// adapter.
+func BenchmarkEngineCampaignLegacy(b *testing.B) {
+	apps := benchApps(b)
+	cache := benchEngineCache(b, apps)
+	pl := platform.XScale(4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bases := make([]*spg.Analysis, len(apps))
+		for ai, a := range apps {
+			a := a
+			an, err := cache.Get(
+				fmt.Sprintf("streamit/%s/n=%d/y=%d/x=%d", a.Name, a.N, a.YMax, a.XMax),
+				func() (*spg.Analysis, error) {
+					g, err := a.BaseGraph()
+					if err != nil {
+						return nil, err
+					}
+					return spg.NewAnalysis(g), nil
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bases[ai] = an
+		}
+		type variant struct {
+			appIdx int
+			ccr    float64
+		}
+		var variants []variant
+		for ai, a := range apps {
+			variants = append(variants,
+				variant{ai, a.CCR}, variant{ai, 10}, variant{ai, 1}, variant{ai, 0.1})
+		}
+		type cellOut struct {
+			res experiments.InstanceResult
+		}
+		outs := make([]cellOut, len(variants))
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(variants) {
+			workers = len(variants)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for vi := range next {
+					v := variants[vi]
+					an := bases[v.appIdx].ScaleToCCR(v.ccr)
+					ir, _ := experiments.SelectPeriodAnalyzed(an, pl, 1+int64(vi))
+					outs[vi] = cellOut{res: ir}
+				}
+			}()
+		}
+		for vi := range variants {
+			next <- vi
+		}
+		close(next)
+		wg.Wait()
+	}
 }

@@ -1,0 +1,49 @@
+// Command spgserve runs the HTTP/JSON mapping service: the Section 6 solver
+// stack behind POST /v1/map and POST /v1/campaign, backed by the shared
+// campaign engine and the campaign-scope analysis cache (see
+// internal/service and the README next to this file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"spgcmp/internal/engine"
+	"spgcmp/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheSize  = flag.Int("cache-entries", 512, "campaign cache capacity in workloads; <= 0 removes the entry bound, which with -cache-mb 0 disables caching entirely")
+		cacheMB    = flag.Int64("cache-mb", 0, "campaign cache byte bound in MiB, estimated by spg.Analysis.MemoryFootprint (0 disables)")
+		workers    = flag.Int("workers", 0, "campaign executor workers (0 = GOMAXPROCS)")
+		maxCells   = flag.Int("max-campaign-cells", 10_000, "largest accepted campaign, in cells")
+		maxGrid    = flag.Int("max-grid", 16, "largest accepted CMP side")
+		quickstart = flag.Bool("h-examples", false, "print example requests and exit")
+	)
+	flag.Parse()
+	if *quickstart {
+		fmt.Println(`curl localhost:8080/v1/healthz
+curl -X POST localhost:8080/v1/map -d '{"workload":{"streamit":"FFT","ccr":1},"p":4,"q":4,"seed":42}'
+curl -X POST localhost:8080/v1/campaign -d '{"streamit":{"p":4,"q":4,"apps":["DCT","FFT"],"seed":42}}'
+curl localhost:8080/v1/campaign/c1`)
+		os.Exit(0)
+	}
+
+	cache := engine.NewAnalysisCacheBytes(*cacheSize, *cacheMB<<20)
+	srv := service.New(service.Config{
+		Cache:            cache,
+		Executor:         &engine.PoolExecutor{Workers: *workers},
+		MaxGrid:          *maxGrid,
+		MaxCampaignCells: *maxCells,
+	})
+	log.Printf("spgserve listening on %s (cache: %d entries, %d MiB; workers: %d)",
+		*addr, *cacheSize, *cacheMB, *workers)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

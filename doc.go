@@ -16,7 +16,10 @@
 //	internal/sim         steady-state pipeline simulator
 //	internal/streamit    the 12 StreamIt workflows of Table 1
 //	internal/randspg     random SPG generation with exact elevation
-//	internal/experiments the Section 6 evaluation campaigns
+//	internal/engine      the campaign engine: deterministic cells, pluggable
+//	                     executors, the campaign-scope AnalysisCache
+//	internal/experiments the Section 6 evaluation campaigns (engine adapters)
+//	internal/service     the HTTP/JSON mapping service (cmd/spgserve)
 //
 // # The three cache layers
 //
@@ -41,9 +44,12 @@
 // minimal period at which each ladder speed can process each DPA2D
 // rectangle, monotone in T and computed once for all period divisions) with
 // per-period rectangle-energy snapshots shared between DPA2D, DPA2D-T and
-// DPA2D1D, and a DPA1D budget-verdict memo that replays a recorded
-// state-explosion failure instead of re-enumerating tens of thousands of
-// downsets just to fail at the same point.
+// DPA2D1D, and a DPA1D run-outcome memo that replays both recorded
+// state-explosion failures and — keyed additionally by the platform's energy
+// fingerprint, which steers the DP's argmin — successful chunk
+// decompositions (copy-on-return through a fresh mapping build, so callers
+// never alias solutions), instead of re-running enumerations whose outcome
+// is already determined.
 //
 // Layer 2 — scale-family scope. The CCR variants of a workload differ only
 // by a uniform edge-volume rescale, so Analysis.ScaleToCCR derives a variant
@@ -55,14 +61,40 @@
 // volume-rescaled variants of one workload are solved: RunStreamIt derives
 // all four CCR cells of an application from one base analysis.
 //
-// Layer 3 — campaign scope. experiments.AnalysisCache is a size-bounded,
-// workload-identity-keyed LRU carrying whole analyses across campaign runs:
-// repeated sweeps over the same suite — the long-running mapping-service
-// pattern the ROADMAP aims at — skip workload synthesis and analysis
-// entirely. RunStreamIt and RunRandom consult the process-wide default
-// cache (or one supplied by the caller; nil disables the layer). This layer
+// Layer 3 — campaign scope. engine.AnalysisCache (re-exported as
+// experiments.AnalysisCache) is a bounded, workload-identity-keyed LRU
+// carrying whole analyses across campaign runs: repeated sweeps over the
+// same suite — the long-running mapping-service pattern the ROADMAP aims at
+// — skip workload synthesis and analysis entirely. Retention is bounded by
+// an entry count and, optionally, a byte account fed by
+// spg.Analysis.MemoryFootprint estimates (downset lattices dominate; the
+// estimate is refreshed on every hit because lattices grow while solvers
+// run). RunStreamIt and RunRandom consult the process-wide default cache
+// (or one supplied by the caller; nil disables the layer). This layer
 // applies across calls: the 6x6 campaign reuses the 4x4 campaign's
 // analyses, and a re-run reuses everything.
+//
+// # The campaign engine and the mapping service
+//
+// internal/engine turns any campaign into deterministic, individually
+// addressable cells — one (workload identity, CCR, grid, solver options)
+// point each, self-contained behind a seeded builder — executed through a
+// pluggable Executor (an in-process worker pool today; the interface is the
+// seam for a distributed shard runner) with the campaign cache threaded
+// through, and folded by order-independent reducers over the indexed
+// results. RunStreamIt, RunRandom and SelectPeriod are thin adapters over
+// it (cell enumeration plus a reducer each), and the equivalence suite
+// proves engine-run campaigns bit-identical to the pre-engine loops for
+// every (app, CCR, period, heuristic) cell at any worker count, cached or
+// not.
+//
+// internal/service exposes the engine over HTTP/JSON (cmd/spgserve):
+// POST /v1/map answers one workload with the period-selection protocol,
+// POST /v1/campaign runs whole campaigns asynchronously with cell-level
+// progress polling at GET /v1/campaign/{id}, and GET /v1/healthz reports
+// the shared cache's statistics. One engine and one cache back both
+// endpoints, so a service that has mapped a workload family once answers
+// every later request on it from warm structures.
 //
 // BenchmarkCampaign vs BenchmarkCampaignUncached quantifies the end-to-end
 // effect on the full StreamIt suite (all CCR variants, warm cache; >20x on a
@@ -72,8 +104,11 @@
 // cell with and without each layer.
 //
 // Executables: cmd/spgmap (map one workload), cmd/experiments (regenerate
-// every table and figure), cmd/spggen (emit workloads), cmd/ilpgen (emit the
-// ILP). Runnable walkthroughs live under examples/ — examples/period-sweep
-// documents the cache layers from a user's perspective. The benchmarks in
-// bench_test.go regenerate each table and figure at reduced scale.
+// every table and figure), cmd/spgserve (the HTTP mapping service; see
+// cmd/spgserve/README.md for curl examples), cmd/spggen (emit workloads),
+// cmd/ilpgen (emit the ILP). Runnable walkthroughs live under examples/ —
+// examples/period-sweep documents the cache layers from a user's
+// perspective. The benchmarks in bench_test.go regenerate each table and
+// figure at reduced scale; BenchmarkEngineCampaign vs
+// BenchmarkEngineCampaignLegacy isolates the engine indirection's cost.
 package spgcmp

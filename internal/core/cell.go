@@ -1,0 +1,45 @@
+package core
+
+// CellOutcome records one heuristic's result on one instance — the unit row
+// of every campaign table (the Outcome of the Section 6 figures). Failed
+// heuristics keep OK false and the zero Energy/ActiveCores; the paper counts
+// them in Tables 2 and 3.
+type CellOutcome struct {
+	Heuristic   string  `json:"heuristic"`
+	OK          bool    `json:"ok"`
+	Energy      float64 `json:"energy,omitempty"`
+	ActiveCores int     `json:"active_cores,omitempty"`
+}
+
+// SolveCell runs every heuristic of AllWith(o) on the instance, in the
+// paper's presentation order, and returns one outcome per heuristic. It is
+// the cell-level solve entry point shared by the campaign engine's executor
+// and the period-selection protocol: an analysis cache attached to inst is
+// reused by all heuristics (callers that solve a workload more than once
+// should attach one with NewInstance or Instance.Analyzed).
+func SolveCell(inst Instance, o Options) []CellOutcome {
+	hs := AllWith(o)
+	out := make([]CellOutcome, len(hs))
+	for i, h := range hs {
+		out[i].Heuristic = h.Name()
+		sol, err := h.Solve(inst)
+		if err != nil {
+			continue
+		}
+		out[i].OK = true
+		out[i].Energy = sol.Energy()
+		out[i].ActiveCores = sol.Result.ActiveCores
+	}
+	return out
+}
+
+// AnyOK reports whether at least one outcome succeeded — the per-period
+// continuation test of the Section 6.1.3 protocol.
+func AnyOK(outcomes []CellOutcome) bool {
+	for _, o := range outcomes {
+		if o.OK {
+			return true
+		}
+	}
+	return false
+}

@@ -108,6 +108,53 @@ func energySig(pl *platform.Platform) string {
 	return string(b)
 }
 
+// MemoryFootprint implements spg.Footprinter so the rectangle tables
+// participate in Analysis.MemoryFootprint (and through it in the campaign
+// cache's byte account): threshold rows, period snapshot tables and the
+// per-signature map overheads, with the same flat-constant approximations
+// the spg estimates use.
+func (rc *rectCache) MemoryFootprint() int64 {
+	rc.mu.Lock()
+	var b int64
+	sigs := make([]*sigTables, 0, len(rc.sigs))
+	for sig, st := range rc.sigs {
+		b += int64(len(sig)) + auxMapEntryBytes
+		sigs = append(sigs, st)
+	}
+	rc.mu.Unlock()
+	for _, st := range sigs {
+		b += st.footprint()
+	}
+	return b
+}
+
+// Flat approximations matching the spg footprint constants.
+const (
+	auxSliceHeaderBytes = 24
+	auxMapEntryBytes    = 48
+)
+
+func (st *sigTables) footprint() int64 {
+	st.mu.Lock()
+	var b int64
+	for _, rows := range st.thr {
+		b += auxMapEntryBytes + auxSliceHeaderBytes + int64(len(rows))*auxSliceHeaderBytes
+		for _, row := range rows {
+			b += int64(len(row)) * 8
+		}
+	}
+	periods := append([]*periodTables(nil), st.periods...)
+	st.mu.Unlock()
+	for _, pt := range periods {
+		pt.mu.Lock()
+		for _, tab := range pt.ecal {
+			b += auxMapEntryBytes + auxSliceHeaderBytes + int64(len(tab))*8
+		}
+		pt.mu.Unlock()
+	}
+	return b
+}
+
 // rectTablesFor returns the shared tables for an's scale family and pl's
 // energy signature, creating them on first use.
 func rectTablesFor(an *spg.Analysis, pl *platform.Platform) *sigTables {

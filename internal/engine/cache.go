@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"spgcmp/internal/spg"
+)
+
+// AnalysisCache is a bounded, workload-identity-keyed cache of shared graph
+// analyses — the campaign-scope (third) layer of the solver-reuse
+// architecture. The first layer is the per-instance spg.Analysis attached by
+// core.NewInstance; the second is the scale family sharing one structural
+// analysis across a workload's CCR variants; this layer carries whole
+// analyses across campaign runs, so repeated sweeps over the same suite
+// (the long-running mapping-service pattern) skip workload synthesis and
+// analysis entirely.
+//
+// Keys identify workloads, not graphs: two requests with the same key must
+// deterministically build the same graph (StreamIt synthesis and randspg
+// generation are both seeded). Values are retained with least-recently-used
+// eviction under two independent bounds — an entry count and, when
+// configured, a byte account fed by spg.Analysis.MemoryFootprint (downset
+// lattices dominate, and they grow as solvers run, so footprints are
+// re-estimated on every hit). Entries still being built are exempt from
+// eviction, so the bounds are transiently exceeded while many keys build
+// concurrently. Concurrent Gets of the same key build the value once —
+// waiters share the first builder's result — and builds of different keys
+// never block each other.
+//
+// The nil cache and a cache with no positive bound both disable this layer:
+// Get simply invokes build. Cached analyses may be consulted by several
+// campaigns concurrently; every structure they hand out is either immutable
+// or internally synchronized, and solvers proved bit-identical against
+// cache-free runs (see the cache-equivalence tests).
+type AnalysisCache struct {
+	capacity int
+	maxBytes int64
+
+	hits, misses atomic.Uint64
+
+	mu         sync.Mutex
+	entries    map[string]*cacheEntry
+	lru        *list.List // front = most recently used; values are *cacheEntry
+	totalBytes int64      // sum of entry footprints, tracked when maxBytes > 0
+}
+
+type cacheEntry struct {
+	key  string
+	elem *list.Element
+	once sync.Once
+	an   *spg.Analysis
+	err  error
+	// done flips after a successful build; eviction skips in-flight entries
+	// so a slow build is never raced by a duplicate rebuild of its key (the
+	// cache transiently exceeds its bounds instead).
+	done atomic.Bool
+	// bytes is the entry's last recorded footprint, included in totalBytes.
+	// Guarded by mu.
+	bytes int64
+}
+
+// NewAnalysisCache returns a cache retaining at most capacity workload
+// analyses, with no byte bound. A capacity <= 0 disables caching: Get
+// degenerates to calling build.
+func NewAnalysisCache(capacity int) *AnalysisCache {
+	return NewAnalysisCacheBytes(capacity, 0)
+}
+
+// NewAnalysisCacheBytes returns a cache bounded by both an entry count and a
+// byte account: eviction runs while either configured bound is exceeded. A
+// bound <= 0 is disabled; with both disabled the cache itself is disabled.
+// Bytes are spg.Analysis.MemoryFootprint estimates, refreshed on every Get of
+// an entry because interned downset lattices keep growing while solvers run.
+// A capacity <= 0 with a positive maxBytes bounds retained memory alone,
+// leaving the entry count free.
+func NewAnalysisCacheBytes(capacity int, maxBytes int64) *AnalysisCache {
+	return &AnalysisCache{
+		capacity: capacity,
+		maxBytes: maxBytes,
+		entries:  make(map[string]*cacheEntry),
+		lru:      list.New(),
+	}
+}
+
+func (c *AnalysisCache) enabled() bool {
+	return c != nil && (c.capacity > 0 || c.maxBytes > 0)
+}
+
+// Len returns the number of cached workloads.
+func (c *AnalysisCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Purge drops every cached workload.
+func (c *AnalysisCache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*cacheEntry)
+	c.lru.Init()
+	c.totalBytes = 0
+}
+
+// CacheStats is a point-in-time snapshot of the cache, as served by the
+// mapping service's health endpoint.
+type CacheStats struct {
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+	Bytes    int64  `json:"bytes"`
+	MaxBytes int64  `json:"max_bytes,omitempty"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+}
+
+// Stats returns the cache's current size, bounds and hit counters. Without a
+// byte bound the byte total is estimated on the fly (footprints are otherwise
+// only tracked when they feed eviction): the entry list is snapshotted under
+// the cache lock but the footprint walk runs outside it — the walk takes
+// each analysis's own fine-grained locks, and holding the cache-wide mutex
+// across it would stall every concurrent Get behind a health poll. Stats is
+// O(entries) and meant for health endpoints, not hot paths.
+func (c *AnalysisCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	s := CacheStats{
+		Entries:  len(c.entries),
+		Capacity: c.capacity,
+		MaxBytes: c.maxBytes,
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+	}
+	var walk []*spg.Analysis
+	if c.maxBytes > 0 {
+		s.Bytes = c.totalBytes
+	} else {
+		walk = make([]*spg.Analysis, 0, len(c.entries))
+		for _, e := range c.entries {
+			if e.done.Load() {
+				walk = append(walk, e.an)
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, an := range walk {
+		s.Bytes += an.MemoryFootprint()
+	}
+	return s
+}
+
+// Get returns the analysis cached under key, building (and caching) it on
+// first use. A failed build is not retained; the next Get retries. Disabled
+// caches — and the empty key, which cells use to opt a workload out of the
+// campaign layer — build unconditionally.
+func (c *AnalysisCache) Get(key string, build func() (*spg.Analysis, error)) (*spg.Analysis, error) {
+	if !c.enabled() || key == "" {
+		return build()
+	}
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		c.misses.Add(1)
+		e = &cacheEntry{key: key}
+		e.elem = c.lru.PushFront(e)
+		c.entries[key] = e
+		c.evictLocked()
+	} else {
+		c.hits.Add(1)
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.an, e.err = build()
+		if e.err == nil {
+			e.done.Store(true)
+		}
+	})
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+			if e.elem != nil {
+				c.lru.Remove(e.elem)
+			}
+		}
+		c.mu.Unlock()
+		return e.an, e.err
+	}
+	if c.maxBytes > 0 {
+		// Refresh the byte account outside the cache lock (the footprint walk
+		// takes the analysis's own fine-grained locks), then settle under it.
+		// The entry may have been evicted meanwhile; its footprint then no
+		// longer participates.
+		fp := e.an.MemoryFootprint()
+		c.mu.Lock()
+		if c.entries[key] == e {
+			c.totalBytes += fp - e.bytes
+			e.bytes = fp
+			c.evictLocked()
+		}
+		c.mu.Unlock()
+	}
+	return e.an, e.err
+}
+
+// evictLocked drops least-recently-used completed entries while either bound
+// is exceeded; entries still being built are skipped so their builders keep
+// the single-build guarantee (the cache may transiently exceed its bounds
+// while many keys build at once). Callers hold c.mu.
+func (c *AnalysisCache) evictLocked() {
+	over := func() bool {
+		return (c.capacity > 0 && c.lru.Len() > c.capacity) ||
+			(c.maxBytes > 0 && c.totalBytes > c.maxBytes)
+	}
+	for el := c.lru.Back(); el != nil && over(); {
+		prev := el.Prev()
+		if old := el.Value.(*cacheEntry); old.done.Load() {
+			c.lru.Remove(el)
+			delete(c.entries, old.key)
+			c.totalBytes -= old.bytes
+		}
+		el = prev
+	}
+}

@@ -1,0 +1,169 @@
+// Package engine decomposes the paper's evaluation campaigns into
+// deterministic, individually-addressable cells and executes them through a
+// pluggable Executor, folding results with order-independent reducers so an
+// engine-run campaign is bit-identical to the legacy monolithic loops it
+// replaced (see the equivalence tests in internal/experiments).
+//
+// A cell is one (workload identity x CCR x platform x solver options) point:
+// solving it runs the Section 6.1.3 period-selection protocol over all five
+// heuristics, so every (app, CCR, period division, heuristic) outcome of the
+// paper's figures is addressable as (cell key, period, heuristic) in the
+// cell's result. Cells are self-contained — a deterministic builder
+// regenerates the workload from its identity — which is what lets an executor
+// place them anywhere: the in-process PoolExecutor today, a distributed shard
+// runner behind the same Executor interface tomorrow (the ROADMAP's scaling
+// step; cache keys are already deterministic workload identities).
+//
+// The engine threads the campaign-scope AnalysisCache through the executor:
+// cells sharing a workload family (the CCR variants of one application)
+// resolve one base analysis and derive their variants as scale-family
+// members, exactly as the pre-engine campaign path did. When the campaign
+// layer is disabled the engine still shares family bases within the run —
+// scale-family sharing is intrinsic to a campaign, not a caching policy —
+// through a private per-run resolver that retains only keys used by more
+// than one cell.
+package engine
+
+import (
+	"context"
+
+	"spgcmp/internal/core"
+	"spgcmp/internal/platform"
+	"spgcmp/internal/spg"
+)
+
+// Cell is one deterministic, individually-addressable unit of campaign work:
+// a workload identity plus the configuration of its solve. The zero-valued
+// fields of two equal cells must describe the same work — Build is required
+// to be a pure function of the cell's identity (seeded synthesis), so a cell
+// can be re-executed anywhere, any number of times, with bit-identical
+// results.
+type Cell struct {
+	// Key addresses the cell within its campaign (unique per campaign).
+	Key string
+	// CacheKey is the workload family identity consulted in the
+	// AnalysisCache — the base (pre-CCR-scaling) analysis shared by every
+	// cell of the family. Empty opts the cell out of analysis sharing.
+	CacheKey string
+	// Build deterministically synthesizes the family-base analysis.
+	Build func() (*spg.Analysis, error)
+	// ScaleCCR derives this cell's analysis as the CCR scale-family member
+	// of the base; false solves the base as-is (random-SPG cells bake their
+	// CCR into generation instead).
+	ScaleCCR bool
+	CCR      float64
+	// P, Q select the CMP grid (the paper's XScale model).
+	P, Q int
+	// Opts configures the heuristic set; Opts.Seed drives the Random
+	// heuristic of this cell.
+	Opts core.Options
+}
+
+// CellResult is one solved cell. Err is a workload build failure; Feasible
+// is the period protocol's verdict (false when every heuristic fails at 1 s).
+type CellResult struct {
+	Index    int            `json:"index"`
+	Key      string         `json:"key"`
+	Feasible bool           `json:"feasible"`
+	Result   InstanceResult `json:"result"`
+	Err      error          `json:"-"`
+}
+
+// Campaign is a batch of cells plus the shared resources of their run.
+type Campaign struct {
+	Cells []Cell
+	// Cache is the campaign-scope analysis cache threaded through the
+	// executor. nil or disabled keeps family sharing within this run only
+	// (see the package comment).
+	Cache *AnalysisCache
+	// OnCell, when set, observes every completed cell (called from executor
+	// goroutines, possibly concurrently; results arrive in completion order,
+	// not index order). Progress reporting for the mapping service.
+	OnCell func(CellResult)
+}
+
+// Run executes every cell of the campaign through ex (nil selects an
+// in-process PoolExecutor at GOMAXPROCS) and returns the results indexed by
+// cell, so any fold over them is deterministic and order-independent
+// regardless of worker count or completion order. On context cancellation
+// the indexed slice is returned alongside the context error with the
+// unstarted cells zero-valued (Key empty).
+func Run(ctx context.Context, ex Executor, c Campaign) ([]CellResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ex == nil {
+		ex = &PoolExecutor{}
+	}
+	resolve := newResolver(c.Cells, c.Cache)
+	results := make([]CellResult, len(c.Cells))
+	err := ex.Execute(ctx, len(c.Cells), func(i int) {
+		results[i] = solveCell(i, c.Cells[i], resolve)
+		if c.OnCell != nil {
+			c.OnCell(results[i])
+		}
+	})
+	return results, err
+}
+
+// Solve executes one cell against the given cache — the single-workload
+// entry point the mapping service's /v1/map handler shares with campaign
+// runs.
+func Solve(cell Cell, cache *AnalysisCache) CellResult {
+	return solveCell(0, cell, func(c Cell) (*spg.Analysis, error) {
+		return cache.Get(c.CacheKey, c.Build)
+	})
+}
+
+func solveCell(i int, cell Cell, resolve func(Cell) (*spg.Analysis, error)) CellResult {
+	r := CellResult{Index: i, Key: cell.Key}
+	an, err := resolve(cell)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	if cell.ScaleCCR {
+		an = an.ScaleToCCR(cell.CCR)
+	}
+	pl := platform.XScale(cell.P, cell.Q)
+	r.Result, r.Feasible = SelectPeriod(an, pl, cell.Opts)
+	return r
+}
+
+// newResolver chooses how cells obtain their family-base analyses. With an
+// enabled campaign cache every cell consults it. Otherwise the campaign
+// layer is off, but cells of one run that share a CacheKey still share the
+// base — the pre-engine loops built each application's base once and derived
+// the CCR variants from it, and the engine preserves that resource shape —
+// through a private cache holding only the keys used by more than one cell
+// (uniquely-keyed workloads, e.g. random-SPG cells, build directly and are
+// not retained).
+func newResolver(cells []Cell, cache *AnalysisCache) func(Cell) (*spg.Analysis, error) {
+	if cache.enabled() {
+		return func(c Cell) (*spg.Analysis, error) {
+			return cache.Get(c.CacheKey, c.Build)
+		}
+	}
+	counts := make(map[string]int)
+	for _, c := range cells {
+		if c.CacheKey != "" {
+			counts[c.CacheKey]++
+		}
+	}
+	shared := 0
+	for _, n := range counts {
+		if n > 1 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		return func(c Cell) (*spg.Analysis, error) { return c.Build() }
+	}
+	run := NewAnalysisCache(shared)
+	return func(c Cell) (*spg.Analysis, error) {
+		if counts[c.CacheKey] > 1 {
+			return run.Get(c.CacheKey, c.Build)
+		}
+		return c.Build()
+	}
+}

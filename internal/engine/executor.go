@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Executor schedules the independent cells of a campaign run. Execute must
+// call run(i) exactly once for every index in [0, n) that it starts, from any
+// number of goroutines (run is safe for concurrent use), and returns once
+// every started cell has finished. A cancelled context stops the executor
+// from starting further cells; Execute then returns the context's error after
+// draining the in-flight ones, leaving unstarted cells untouched.
+//
+// The interface is the distribution seam of the engine: the in-process
+// PoolExecutor is the only implementation today, and a future shard runner
+// distributing index ranges across machines implements the same contract —
+// the cells themselves are self-contained (deterministic workload identities
+// and builders), so where run(i) executes never affects the result.
+type Executor interface {
+	Execute(ctx context.Context, n int, run func(i int)) error
+}
+
+// PoolExecutor runs cells on an in-process worker pool.
+type PoolExecutor struct {
+	// Workers caps the number of concurrent cells; 0 means GOMAXPROCS.
+	// Results are bit-identical at any worker count (see the engine
+	// determinism tests), so the knob trades memory for throughput only.
+	Workers int
+}
+
+// Execute implements Executor.
+func (p *PoolExecutor) Execute(ctx context.Context, n int, run func(i int)) error {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			run(i)
+		}
+		return ctx.Err()
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	return ctx.Err()
+}

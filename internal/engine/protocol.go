@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"math"
+
+	"spgcmp/internal/core"
+	"spgcmp/internal/platform"
+	"spgcmp/internal/spg"
+)
+
+// Outcome is one heuristic's result on one instance. It is core's cell-level
+// outcome re-exported under the name the experiment tables use.
+type Outcome = core.CellOutcome
+
+// InstanceResult is the evaluation of all heuristics on one workload at the
+// period selected by the Section 6.1.3 protocol.
+type InstanceResult struct {
+	Period   float64   `json:"period"`
+	Outcomes []Outcome `json:"outcomes"`
+}
+
+// BestEnergy returns the minimum energy over successful heuristics, or +Inf.
+func (ir InstanceResult) BestEnergy() float64 {
+	best := math.Inf(1)
+	for _, o := range ir.Outcomes {
+		if o.OK && o.Energy < best {
+			best = o.Energy
+		}
+	}
+	return best
+}
+
+// AnyOK reports whether at least one outcome succeeded.
+func AnyOK(outcomes []Outcome) bool { return core.AnyOK(outcomes) }
+
+// SelectPeriod implements the protocol of Section 6.1.3 over a pre-built
+// (possibly shared) analysis: start at T = 1 s, iteratively divide the period
+// by 10 while at least one heuristic still succeeds, and retain the last
+// period before total failure together with the heuristic outcomes at that
+// period. ok is false when every heuristic already fails at 1 s.
+//
+// opts configures the heuristic set (core.AllWith); opts.Seed drives the
+// Random heuristic. The analysis is only read through its concurrency-safe
+// accessors, so one analysis may serve several concurrent calls; campaigns
+// pass scale-family members and campaign-cache hits here so the protocol
+// starts from whatever structures earlier runs on the same workload family
+// already built.
+func SelectPeriod(an *spg.Analysis, pl *platform.Platform, opts core.Options) (InstanceResult, bool) {
+	const maxDivisions = 9
+	inst := core.Instance{Graph: an.Graph(), Platform: pl, Period: 1.0, Analysis: an}
+	outcomes := core.SolveCell(inst, opts)
+	if !core.AnyOK(outcomes) {
+		return InstanceResult{Period: inst.Period, Outcomes: outcomes}, false
+	}
+	for i := 0; i < maxDivisions; i++ {
+		tighter := inst.WithPeriod(inst.Period / 10)
+		next := core.SolveCell(tighter, opts)
+		if !core.AnyOK(next) {
+			break
+		}
+		inst, outcomes = tighter, next
+	}
+	return InstanceResult{Period: inst.Period, Outcomes: outcomes}, true
+}

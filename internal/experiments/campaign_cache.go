@@ -1,68 +1,29 @@
 package experiments
 
 import (
-	"container/list"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
-	"spgcmp/internal/spg"
+	"spgcmp/internal/engine"
 	"spgcmp/internal/streamit"
 )
 
-// AnalysisCache is a size-bounded, workload-identity-keyed cache of shared
-// graph analyses — the campaign-scope (third) layer of the solver-reuse
-// architecture. The first layer is the per-instance spg.Analysis attached by
-// core.NewInstance; the second is the scale family sharing one structural
-// analysis across a workload's CCR variants; this layer carries whole
-// analyses across campaign runs, so repeated sweeps over the same suite
-// (the long-running mapping-service pattern) skip workload synthesis and
-// analysis entirely.
-//
-// Keys identify workloads, not graphs: two requests with the same key must
-// deterministically build the same graph (StreamIt synthesis and randspg
-// generation are both seeded). Values are retained with least-recently-used
-// eviction, bounding retained memory by the capacity regardless of how many
-// distinct workloads a campaign touches (entries still being built are
-// exempt from eviction, so the bound is transiently exceeded while many
-// keys build concurrently). Concurrent Gets of the same key build the value
-// once — waiters share the first builder's result — and builds of different
-// keys never block each other.
-//
-// The zero-capacity cache and the nil cache both disable this layer: Get
-// simply invokes build. Cached analyses may be consulted by several
-// campaigns concurrently; every structure they hand out is either immutable
-// or internally synchronized, and solvers proved bit-identical against
-// cache-free runs (see the cache-equivalence tests).
-type AnalysisCache struct {
-	capacity int
-
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	lru     *list.List // front = most recently used; values are *cacheEntry
-}
-
-type cacheEntry struct {
-	key  string
-	elem *list.Element
-	once sync.Once
-	an   *spg.Analysis
-	err  error
-	// done flips after a successful build; eviction skips in-flight entries
-	// so a slow build is never raced by a duplicate rebuild of its key (the
-	// cache transiently exceeds capacity instead).
-	done atomic.Bool
-}
+// AnalysisCache is the campaign-scope analysis cache, now owned by the
+// engine (it is threaded through every executor); the name is kept here
+// because the experiment entry points are where callers meet it.
+type AnalysisCache = engine.AnalysisCache
 
 // NewAnalysisCache returns a cache retaining at most capacity workload
 // analyses. A capacity <= 0 disables caching: Get degenerates to calling
 // build.
 func NewAnalysisCache(capacity int) *AnalysisCache {
-	return &AnalysisCache{
-		capacity: capacity,
-		entries:  make(map[string]*cacheEntry),
-		lru:      list.New(),
-	}
+	return engine.NewAnalysisCache(capacity)
+}
+
+// NewAnalysisCacheBytes additionally bounds the retained
+// spg.Analysis.MemoryFootprint bytes (downset lattices dominate); see
+// engine.NewAnalysisCacheBytes.
+func NewAnalysisCacheBytes(capacity int, maxBytes int64) *AnalysisCache {
+	return engine.NewAnalysisCacheBytes(capacity, maxBytes)
 }
 
 // defaultCache is the process-wide campaign cache consulted by RunStreamIt
@@ -73,76 +34,6 @@ var defaultCache = NewAnalysisCache(512)
 
 // DefaultAnalysisCache returns the process-wide campaign cache.
 func DefaultAnalysisCache() *AnalysisCache { return defaultCache }
-
-// Len returns the number of cached workloads.
-func (c *AnalysisCache) Len() int {
-	if c == nil {
-		return 0
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
-
-// Purge drops every cached workload.
-func (c *AnalysisCache) Purge() {
-	if c == nil {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*cacheEntry)
-	c.lru.Init()
-}
-
-// Get returns the analysis cached under key, building (and caching) it on
-// first use. A failed build is not retained; the next Get retries. Nil and
-// zero-capacity caches build unconditionally.
-func (c *AnalysisCache) Get(key string, build func() (*spg.Analysis, error)) (*spg.Analysis, error) {
-	if c == nil || c.capacity <= 0 {
-		return build()
-	}
-	c.mu.Lock()
-	e := c.entries[key]
-	if e == nil {
-		e = &cacheEntry{key: key}
-		e.elem = c.lru.PushFront(e)
-		c.entries[key] = e
-		// Evict least-recently-used completed entries; entries still being
-		// built are skipped so their builders keep the single-build
-		// guarantee (the cache may transiently exceed capacity while many
-		// keys build at once).
-		for el := c.lru.Back(); el != nil && c.lru.Len() > c.capacity; {
-			prev := el.Prev()
-			if old := el.Value.(*cacheEntry); old.done.Load() {
-				c.lru.Remove(el)
-				delete(c.entries, old.key)
-			}
-			el = prev
-		}
-	} else if e.elem != nil {
-		c.lru.MoveToFront(e.elem)
-	}
-	c.mu.Unlock()
-
-	e.once.Do(func() {
-		e.an, e.err = build()
-		if e.err == nil {
-			e.done.Store(true)
-		}
-	})
-	if e.err != nil {
-		c.mu.Lock()
-		if c.entries[key] == e {
-			delete(c.entries, key)
-			if e.elem != nil {
-				c.lru.Remove(e.elem)
-			}
-		}
-		c.mu.Unlock()
-	}
-	return e.an, e.err
-}
 
 // streamItKey identifies a StreamIt workload's base (pre-CCR-scaling)
 // analysis; the CCR variants hang off it as scale-family members.

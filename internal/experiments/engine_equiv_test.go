@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"spgcmp/internal/engine"
+	"spgcmp/internal/streamit"
+)
+
+// TestEngineStreamItEquivalence: running the enumerated cells through
+// engine.Run with explicit executors at several worker counts — with and
+// without a warm campaign cache — must reduce to tables bit-identical to the
+// RunStreamIt entry point (which itself is proven bit-identical to the
+// pre-reuse reference by TestCampaignCacheEquivalenceStreamIt).
+func TestEngineStreamItEquivalence(t *testing.T) {
+	var apps []streamit.App
+	for _, a := range streamit.Suite() {
+		if a.Name == "DCT" || a.Name == "FFT" {
+			apps = append(apps, a)
+		}
+	}
+	const seed = 21
+	want, err := RunStreamItWith(4, 4, apps, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewAnalysisCache(16)
+	for _, pass := range []string{"cold", "warm"} {
+		for _, workers := range []int{1, 2, 7} {
+			results, err := engine.Run(context.Background(),
+				&engine.PoolExecutor{Workers: workers},
+				engine.Campaign{Cells: StreamItCells(4, 4, apps, seed), Cache: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReduceStreamIt(4, 4, apps, results)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameCampaign(t, fmt.Sprintf("%s/workers=%d", pass, workers), got, want)
+		}
+	}
+}
+
+// TestEngineRandomEquivalence: the same property for a random panel, where
+// cells are uniquely keyed and the reducer owns all aggregation arithmetic.
+func TestEngineRandomEquivalence(t *testing.T) {
+	cfg := RandomConfig{
+		N: 25, P: 4, Q: 4, CCR: 1,
+		MinElevation: 1, MaxElevation: 3, GraphsPerElev: 2, Seed: 13,
+		Cache: NewAnalysisCache(0), // campaign layer off for the reference
+	}
+	want, err := RunRandom(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := RandomCells(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 5} {
+		results, err := engine.Run(context.Background(),
+			&engine.PoolExecutor{Workers: workers},
+			engine.Campaign{Cells: cells, Cache: NewAnalysisCache(16)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReduceRandom(cfg, results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Points) != len(want.Points) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got.Points), len(want.Points))
+		}
+		for i, pt := range got.Points {
+			wpt := want.Points[i]
+			for name := range pt.MeanInvNorm {
+				if math.Float64bits(pt.MeanInvNorm[name]) != math.Float64bits(wpt.MeanInvNorm[name]) {
+					t.Errorf("workers=%d elev %d %s: %.17g != %.17g",
+						workers, pt.Elevation, name, pt.MeanInvNorm[name], wpt.MeanInvNorm[name])
+				}
+				if pt.Failures[name] != wpt.Failures[name] {
+					t.Errorf("workers=%d elev %d %s: failures %d != %d",
+						workers, pt.Elevation, name, pt.Failures[name], wpt.Failures[name])
+				}
+			}
+		}
+	}
+}

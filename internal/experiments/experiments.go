@@ -2,15 +2,22 @@
 // bound selection protocol, the StreamIt campaigns (Figures 8-9, Table 2) and
 // the random-SPG campaigns (Figures 10-13, Table 3). Results are plain data
 // structures; render.go turns them into text tables and CSV.
+//
+// Since the campaign-engine refactor the package is a thin adapter layer:
+// each campaign is a cell enumeration (StreamItCells, RandomCells) handed to
+// internal/engine for execution plus a deterministic, order-independent
+// reducer (ReduceStreamIt, ReduceRandom) folding the indexed cell results
+// into the paper's tables. The legacy entry points — RunStreamIt, RunRandom,
+// SelectPeriod — keep their exact signatures and bit-identical results; the
+// engine is the seam that also serves the HTTP mapping service and, later,
+// distributed shard runners.
 package experiments
 
 import (
 	"fmt"
-	"math"
-	"runtime"
-	"sync"
 
 	"spgcmp/internal/core"
+	"spgcmp/internal/engine"
 	"spgcmp/internal/platform"
 	"spgcmp/internal/spg"
 )
@@ -27,68 +34,35 @@ var HeuristicNames = func() []string {
 	return names
 }()
 
-// Heuristics returns the heuristic set used by the experiment campaigns: the
-// core list with a reduced DPA1D state budget, so that large-elevation
-// instances fail fast, mirroring the tractability wall reported in
-// Section 6.2 instead of burning hours on doomed enumerations.
+// campaignOptions is the heuristic configuration of every experiment cell:
+// the core defaults with a reduced DPA1D state budget, so that
+// large-elevation instances fail fast, mirroring the tractability wall
+// reported in Section 6.2 instead of burning hours on doomed enumerations.
+func campaignOptions(seed int64) core.Options {
+	return core.Options{Seed: seed, DPA1DMaxStates: 60_000}
+}
+
+// Heuristics returns the heuristic set used by the experiment campaigns (see
+// campaignOptions).
 func Heuristics(seed int64) []core.Heuristic {
-	return core.AllWith(core.Options{Seed: seed, DPA1DMaxStates: 60_000})
+	return core.AllWith(campaignOptions(seed))
 }
 
 // Outcome records one heuristic run on one instance.
-type Outcome struct {
-	Heuristic string
-	OK        bool
-	Energy    float64
-	// ActiveCores is reported for successful runs (used by the analysis of
-	// DPA2D's behaviour on pipelines).
-	ActiveCores int
-}
+type Outcome = engine.Outcome
 
 // InstanceResult is the evaluation of all heuristics on one workload at the
 // period selected by the Section 6.1.3 protocol.
-type InstanceResult struct {
-	Period   float64
-	Outcomes []Outcome
-}
+type InstanceResult = engine.InstanceResult
 
-// BestEnergy returns the minimum energy over successful heuristics, or +Inf.
-func (ir InstanceResult) BestEnergy() float64 {
-	best := math.Inf(1)
-	for _, o := range ir.Outcomes {
-		if o.OK && o.Energy < best {
-			best = o.Energy
-		}
-	}
-	return best
-}
-
-// runAll executes every heuristic on the instance. The instance's analysis
-// cache (when attached) is shared by all five heuristics.
+// runAll executes every heuristic on the instance with the campaign
+// configuration. The instance's analysis cache (when attached) is shared by
+// all five heuristics.
 func runAll(inst core.Instance, seed int64) []Outcome {
-	hs := Heuristics(seed)
-	out := make([]Outcome, len(hs))
-	for i, h := range hs {
-		out[i].Heuristic = h.Name()
-		sol, err := h.Solve(inst)
-		if err != nil {
-			continue
-		}
-		out[i].OK = true
-		out[i].Energy = sol.Energy()
-		out[i].ActiveCores = sol.Result.ActiveCores
-	}
-	return out
+	return core.SolveCell(inst, campaignOptions(seed))
 }
 
-func anyOK(outcomes []Outcome) bool {
-	for _, o := range outcomes {
-		if o.OK {
-			return true
-		}
-	}
-	return false
-}
+func anyOK(outcomes []Outcome) bool { return engine.AnyOK(outcomes) }
 
 // SelectPeriod implements the protocol of Section 6.1.3: start at T = 1 s,
 // iteratively divide the period by 10 while at least one heuristic still
@@ -109,53 +83,10 @@ func SelectPeriod(g *spg.Graph, pl *platform.Platform, seed int64) (InstanceResu
 // so the protocol starts from whatever structures earlier runs on the same
 // workload family already built. The analysis is only read through its
 // concurrency-safe accessors, so one analysis may serve several concurrent
-// calls.
+// calls. It is engine.SelectPeriod under the campaign heuristic
+// configuration.
 func SelectPeriodAnalyzed(an *spg.Analysis, pl *platform.Platform, seed int64) (InstanceResult, bool) {
-	const maxDivisions = 9
-	inst := core.Instance{Graph: an.Graph(), Platform: pl, Period: 1.0, Analysis: an}
-	outcomes := runAll(inst, seed)
-	if !anyOK(outcomes) {
-		return InstanceResult{Period: inst.Period, Outcomes: outcomes}, false
-	}
-	for i := 0; i < maxDivisions; i++ {
-		tighter := inst.WithPeriod(inst.Period / 10)
-		next := runAll(tighter, seed)
-		if !anyOK(next) {
-			break
-		}
-		inst, outcomes = tighter, next
-	}
-	return InstanceResult{Period: inst.Period, Outcomes: outcomes}, true
-}
-
-// parallelFor runs fn(i) for i in [0, n) on all available cores.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	return engine.SelectPeriod(an, pl, campaignOptions(seed))
 }
 
 // ccrLabel names a CCR variant column ("orig", "10", "1", "0.1").

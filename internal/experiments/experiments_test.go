@@ -158,18 +158,6 @@ func TestHeuristicsSetMatchesNames(t *testing.T) {
 	}
 }
 
-func TestParallelForCoversAll(t *testing.T) {
-	for _, n := range []int{0, 1, 7, 100} {
-		hit := make([]int32, n)
-		parallelFor(n, func(i int) { hit[i]++ })
-		for i, h := range hit {
-			if h != 1 {
-				t.Fatalf("n=%d: index %d executed %d times", n, i, h)
-			}
-		}
-	}
-}
-
 func TestInstanceResultBestEnergy(t *testing.T) {
 	ir := InstanceResult{Outcomes: []Outcome{
 		{Heuristic: "A", OK: true, Energy: 5},

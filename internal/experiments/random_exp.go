@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"spgcmp/internal/platform"
+	"spgcmp/internal/engine"
 	"spgcmp/internal/randspg"
 	"spgcmp/internal/spg"
 )
@@ -25,7 +26,7 @@ type RandomConfig struct {
 	// identical seeds, or a service answering the same suite — skip graph
 	// generation and analysis entirely); NewAnalysisCache(0) disables the
 	// layer.
-	Cache *AnalysisCache
+	Cache *engine.AnalysisCache
 }
 
 func (c RandomConfig) withDefaults() RandomConfig {
@@ -36,6 +37,13 @@ func (c RandomConfig) withDefaults() RandomConfig {
 		c.GraphsPerElev = 100
 	}
 	return c
+}
+
+func (c RandomConfig) validate() error {
+	if c.MaxElevation < c.MinElevation {
+		return fmt.Errorf("experiments: bad elevation range [%d, %d]", c.MinElevation, c.MaxElevation)
+	}
+	return nil
 }
 
 // RandomPoint aggregates one elevation value: the mean normalized inverse
@@ -55,75 +63,85 @@ type RandomResult struct {
 	Points []RandomPoint
 }
 
-// RunRandom reproduces one panel of Figures 10-13: for each elevation it
-// generates GraphsPerElev random SPGs, selects the period per instance, and
-// averages the normalized inverse energies.
-func RunRandom(cfg RandomConfig) (*RandomResult, error) {
-	cfg = cfg.withDefaults()
-	if cfg.MaxElevation < cfg.MinElevation {
-		return nil, fmt.Errorf("experiments: bad elevation range [%d, %d]", cfg.MinElevation, cfg.MaxElevation)
-	}
-	type task struct {
-		elev  int
-		graph int
-	}
-	var tasks []task
-	for e := cfg.MinElevation; e <= cfg.MaxElevation; e++ {
-		for k := 0; k < cfg.GraphsPerElev; k++ {
-			tasks = append(tasks, task{e, k})
-		}
-	}
-	type cell struct {
-		invNorm  map[string]float64
-		failures map[string]int
-	}
-	cells := make([]cell, len(tasks))
-	errs := make([]error, len(tasks))
-
-	cache := cfg.Cache
-	if cache == nil {
-		cache = DefaultAnalysisCache()
-	}
-	parallelFor(len(tasks), func(i int) {
-		tk := tasks[i]
-		seed := cfg.Seed + int64(tk.elev)*1_000_003 + int64(tk.graph)*7919
-		an, err := cache.Get(randomKey(cfg.N, tk.elev, seed, cfg.CCR), func() (*spg.Analysis, error) {
+// NewRandomCell returns the engine cell of one generated random SPG on a
+// p x q grid: the generation parameters are the workload identity (the same
+// key always regenerates the identical graph), and the generation seed also
+// drives the cell's Random heuristic, exactly as in the legacy loop. The
+// CCR is baked into generation, so the cell solves its base analysis as-is.
+func NewRandomCell(n, elevation int, seed int64, ccr float64, p, q int) engine.Cell {
+	key := randomKey(n, elevation, seed, ccr)
+	return engine.Cell{
+		Key:      fmt.Sprintf("%s/%dx%d", key, p, q),
+		CacheKey: key,
+		Build: func() (*spg.Analysis, error) {
 			g, err := randspg.Generate(randspg.Params{
-				N:         cfg.N,
-				Elevation: tk.elev,
+				N:         n,
+				Elevation: elevation,
 				Seed:      seed,
-				CCR:       cfg.CCR,
+				CCR:       ccr,
 			})
 			if err != nil {
 				return nil, err
 			}
 			return spg.NewAnalysis(g), nil
-		})
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		pl := platform.XScale(cfg.P, cfg.Q)
-		ir, _ := SelectPeriodAnalyzed(an, pl, seed)
-		c := cell{invNorm: make(map[string]float64), failures: make(map[string]int)}
-		best := ir.BestEnergy()
-		for _, o := range ir.Outcomes {
-			if !o.OK {
-				c.failures[o.Heuristic]++
-				c.invNorm[o.Heuristic] += 0
-				continue
-			}
-			// best/energy = normalized inverse energy in (0, 1].
-			c.invNorm[o.Heuristic] += best / o.Energy
-		}
-		cells[i] = c
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		},
+		P:    p,
+		Q:    q,
+		Opts: campaignOptions(seed),
+	}
+}
+
+// randomCellSeed is the legacy per-task seed schedule: distinct multipliers
+// keep (elevation, graph) pairs from colliding within a campaign.
+func randomCellSeed(cfg RandomConfig, elev, graph int) int64 {
+	return cfg.Seed + int64(elev)*1_000_003 + int64(graph)*7919
+}
+
+// NumCells returns the number of cells the campaign enumerates, with the
+// config's defaults applied — computable without materializing anything, so
+// admission control (the service's campaign-size limit) can reject oversized
+// requests before RandomCells allocates. Zero for an invalid elevation range.
+func (c RandomConfig) NumCells() int64 {
+	c = c.withDefaults()
+	if c.MaxElevation < c.MinElevation {
+		return 0
+	}
+	return int64(c.MaxElevation-c.MinElevation+1) * int64(c.GraphsPerElev)
+}
+
+// RandomCells enumerates one Figure 10-13 panel as engine cells, in the
+// legacy task order: elevations ascending, GraphsPerElev graphs per
+// elevation.
+func RandomCells(cfg RandomConfig) ([]engine.Cell, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var cells []engine.Cell
+	for e := cfg.MinElevation; e <= cfg.MaxElevation; e++ {
+		for k := 0; k < cfg.GraphsPerElev; k++ {
+			cells = append(cells, NewRandomCell(cfg.N, e, randomCellSeed(cfg, e, k), cfg.CCR, cfg.P, cfg.Q))
 		}
 	}
+	return cells, nil
+}
 
+// ReduceRandom folds indexed engine results into the per-elevation means and
+// failure counts. Cell i is elevation MinElevation + i/GraphsPerElev, graph
+// i%GraphsPerElev; the fold visits cells in index order with one accumulator
+// per (elevation, heuristic), so it is deterministic and independent of the
+// executor's completion order, and its floating-point summation order is the
+// legacy loop's. The first generation error aborts the reduction.
+func ReduceRandom(cfg RandomConfig, results []engine.CellResult) (*RandomResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	elevations := cfg.MaxElevation - cfg.MinElevation + 1
+	if len(results) != elevations*cfg.GraphsPerElev {
+		return nil, fmt.Errorf("experiments: %d cell results for %d elevations x %d graphs",
+			len(results), elevations, cfg.GraphsPerElev)
+	}
 	res := &RandomResult{Config: cfg}
 	for e := cfg.MinElevation; e <= cfg.MaxElevation; e++ {
 		pt := RandomPoint{
@@ -138,13 +156,20 @@ func RunRandom(cfg RandomConfig) (*RandomResult, error) {
 		}
 		res.Points = append(res.Points, pt)
 	}
-	for i, tk := range tasks {
-		pt := &res.Points[tk.elev-cfg.MinElevation]
-		for name, v := range cells[i].invNorm {
-			pt.MeanInvNorm[name] += v
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
 		}
-		for name, v := range cells[i].failures {
-			pt.Failures[name] += v
+		pt := &res.Points[i/cfg.GraphsPerElev]
+		best := r.Result.BestEnergy()
+		for _, o := range r.Result.Outcomes {
+			if !o.OK {
+				pt.Failures[o.Heuristic]++
+				pt.MeanInvNorm[o.Heuristic] += 0
+				continue
+			}
+			// best/energy = normalized inverse energy in (0, 1].
+			pt.MeanInvNorm[o.Heuristic] += best / o.Energy
 		}
 	}
 	for pi := range res.Points {
@@ -153,6 +178,28 @@ func RunRandom(cfg RandomConfig) (*RandomResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// RunRandom reproduces one panel of Figures 10-13: for each elevation it
+// generates GraphsPerElev random SPGs, selects the period per instance, and
+// averages the normalized inverse energies. It is a thin adapter over the
+// engine: RandomCells enumerates the panel, the in-process pool executor
+// solves it, ReduceRandom folds the indexed results.
+func RunRandom(cfg RandomConfig) (*RandomResult, error) {
+	cfg = cfg.withDefaults()
+	cells, err := RandomCells(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = DefaultAnalysisCache()
+	}
+	results, err := engine.Run(context.Background(), nil, engine.Campaign{Cells: cells, Cache: cache})
+	if err != nil {
+		return nil, err
+	}
+	return ReduceRandom(cfg, results)
 }
 
 // TotalFailures sums failures across all elevations — the rows of Table 3

@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"spgcmp/internal/platform"
+	"spgcmp/internal/engine"
 	"spgcmp/internal/spg"
 	"spgcmp/internal/streamit"
 )
@@ -40,6 +41,75 @@ type StreamItResult struct {
 	Cells []StreamItCell
 }
 
+// NewStreamItCell returns the engine cell of one (application, CCR) point on
+// a p x q grid: the application's base analysis is keyed in the campaign
+// cache and the CCR variant derived as a scale-family member, so every cell
+// of the application resolves one shared base. seed drives the cell's Random
+// heuristic.
+func NewStreamItCell(a streamit.App, ccr float64, p, q int, seed int64) engine.Cell {
+	key := streamItKey(a)
+	return engine.Cell{
+		Key:      fmt.Sprintf("%s/ccr=%s/%dx%d", key, ccrLabel(ccr, ccr == a.CCR), p, q),
+		CacheKey: key,
+		Build: func() (*spg.Analysis, error) {
+			g, err := a.BaseGraph()
+			if err != nil {
+				return nil, err
+			}
+			return spg.NewAnalysis(g), nil
+		},
+		ScaleCCR: true,
+		CCR:      ccr,
+		P:        p,
+		Q:        q,
+		Opts:     campaignOptions(seed),
+	}
+}
+
+// streamItVariants lists the four CCR points of one application in the
+// paper's panel order.
+func streamItVariants(a streamit.App) []float64 { return []float64{a.CCR, 10, 1, 0.1} }
+
+// StreamItCells enumerates the Figure 8/9 campaign as engine cells: for each
+// application (nil = full suite) its four CCR variants in panel order
+// (original, 10, 1, 0.1), with the exact per-cell seeds the legacy loop
+// used (seed + global variant index).
+func StreamItCells(p, q int, apps []streamit.App, seed int64) []engine.Cell {
+	if apps == nil {
+		apps = streamit.Suite()
+	}
+	cells := make([]engine.Cell, 0, 4*len(apps))
+	for _, a := range apps {
+		for _, ccr := range streamItVariants(a) {
+			cells = append(cells, NewStreamItCell(a, ccr, p, q, seed+int64(len(cells))))
+		}
+	}
+	return cells
+}
+
+// ReduceStreamIt folds indexed engine results back into the campaign table.
+// The fold reads only results[i] at Cells[i], so it is order-independent by
+// construction: any executor, at any worker count, yields the same table.
+// The first build error aborts the reduction, matching the legacy loop.
+func ReduceStreamIt(p, q int, apps []streamit.App, results []engine.CellResult) (*StreamItResult, error) {
+	if apps == nil {
+		apps = streamit.Suite()
+	}
+	if len(results) != 4*len(apps) {
+		return nil, fmt.Errorf("experiments: %d cell results for %d applications", len(results), len(apps))
+	}
+	res := &StreamItResult{P: p, Q: q, Cells: make([]StreamItCell, len(results))}
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		a := apps[i/4]
+		ccr := streamItVariants(a)[i%4]
+		res.Cells[i] = StreamItCell{App: a, CCRLabel: ccrLabel(ccr, i%4 == 0), Result: r.Result}
+	}
+	return res, nil
+}
+
 // RunStreamIt reproduces the Figure 8 (4x4) or Figure 9 (6x6) campaign.
 // Apps can restrict the applications (nil = full suite). seed drives the
 // Random heuristic. Analyses flow through the process-wide campaign cache:
@@ -52,54 +122,26 @@ func RunStreamIt(p, q int, apps []streamit.App, seed int64) (*StreamItResult, er
 
 // RunStreamItWith is RunStreamIt with an explicit campaign cache (nil
 // disables the campaign layer; scale-family sharing across the four CCR
-// variants of each application is intrinsic). Each application is analyzed
-// once — through the cache when one is supplied — and its CCR variants are
-// derived as scale-family members of that base analysis, so the variants
-// share reachability, levels, band shapes, convexity verdicts and the
-// interned downset lattice, while seeing bit-identical graphs to a
+// variants of each application is intrinsic and preserved by the engine's
+// per-run resolver). It is a thin adapter over the engine: enumerate the
+// cells, run them on the in-process pool executor, reduce. Each application
+// is analyzed once — through the cache when one is supplied — and its CCR
+// variants are derived as scale-family members of that base analysis, so the
+// variants share reachability, levels, band shapes, convexity verdicts and
+// the interned downset lattice, while seeing bit-identical graphs to a
 // from-scratch GraphWithCCR synthesis.
-func RunStreamItWith(p, q int, apps []streamit.App, seed int64, cache *AnalysisCache) (*StreamItResult, error) {
+func RunStreamItWith(p, q int, apps []streamit.App, seed int64, cache *engine.AnalysisCache) (*StreamItResult, error) {
 	if apps == nil {
 		apps = streamit.Suite()
 	}
-	bases := make([]*spg.Analysis, len(apps))
-	for ai, a := range apps {
-		a := a
-		an, err := cache.Get(streamItKey(a), func() (*spg.Analysis, error) {
-			g, err := a.BaseGraph()
-			if err != nil {
-				return nil, err
-			}
-			return spg.NewAnalysis(g), nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		bases[ai] = an
-	}
-	type variant struct {
-		appIdx int
-		label  string
-		ccr    float64
-	}
-	var variants []variant
-	for ai, a := range apps {
-		variants = append(variants,
-			variant{ai, "orig", a.CCR},
-			variant{ai, "10", 10},
-			variant{ai, "1", 1},
-			variant{ai, "0.1", 0.1},
-		)
-	}
-	res := &StreamItResult{P: p, Q: q, Cells: make([]StreamItCell, len(variants))}
-	parallelFor(len(variants), func(i int) {
-		v := variants[i]
-		an := bases[v.appIdx].ScaleToCCR(v.ccr)
-		pl := platform.XScale(p, q)
-		ir, _ := SelectPeriodAnalyzed(an, pl, seed+int64(i))
-		res.Cells[i] = StreamItCell{App: apps[v.appIdx], CCRLabel: v.label, Result: ir}
+	results, err := engine.Run(context.Background(), nil, engine.Campaign{
+		Cells: StreamItCells(p, q, apps, seed),
+		Cache: cache,
 	})
-	return res, nil
+	if err != nil {
+		return nil, err
+	}
+	return ReduceStreamIt(p, q, apps, results)
 }
 
 // FailureCounts returns, per heuristic, the number of instances (out of

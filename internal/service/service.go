@@ -1,0 +1,453 @@
+// Package service is the HTTP/JSON front-end that turns the library into a
+// long-running mapping service: requests resolve to engine cells, execute on
+// the shared campaign engine, and answer from the same campaign-scope
+// AnalysisCache the batch campaigns use — so a service that has mapped a
+// workload family once answers every later request on it from warm
+// structures.
+//
+// Endpoints (see cmd/spgserve/README.md for curl examples):
+//
+//	GET  /v1/healthz          liveness plus campaign-cache statistics
+//	POST /v1/map              map one workload (the period-selection protocol)
+//	POST /v1/campaign         submit a campaign; answers 202 with an id
+//	GET  /v1/campaign/{id}    poll status, progress and (when done) result
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"spgcmp/internal/engine"
+	"spgcmp/internal/experiments"
+	"spgcmp/internal/streamit"
+)
+
+// Config parameterizes a Server. The zero value serves with the process-wide
+// campaign cache, an in-process pool executor and default guard rails.
+type Config struct {
+	// Cache is the campaign-scope analysis cache shared by every request;
+	// nil selects experiments.DefaultAnalysisCache().
+	Cache *engine.AnalysisCache
+	// Executor runs campaign cells; nil selects an engine.PoolExecutor at
+	// GOMAXPROCS.
+	Executor engine.Executor
+	// MaxGrid bounds the accepted CMP dimensions (default 16 per side).
+	MaxGrid int
+	// MaxCampaignCells rejects campaign submissions larger than this
+	// (default 10000 cells).
+	MaxCampaignCells int
+	// MaxActiveCampaigns bounds concurrently executing campaign jobs
+	// (default 4); submissions beyond it answer 429 so a submission loop
+	// cannot oversubscribe the executor or pile up result state.
+	MaxActiveCampaigns int
+}
+
+// Server implements the mapping service over a shared engine and cache.
+type Server struct {
+	cache     *engine.AnalysisCache
+	exec      engine.Executor
+	maxGrid   int
+	maxCells  int
+	maxActive int
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	running int
+	nextID  int
+}
+
+// job tracks one asynchronous campaign from submission to completion.
+type job struct {
+	id    string
+	kind  string
+	total int
+	done  atomic.Int64
+
+	mu     sync.Mutex
+	status string // "running", "done", "failed"
+	result any
+	errMsg string
+}
+
+// New returns a Server ready to serve.
+func New(cfg Config) *Server {
+	if cfg.Cache == nil {
+		cfg.Cache = experiments.DefaultAnalysisCache()
+	}
+	if cfg.Executor == nil {
+		cfg.Executor = &engine.PoolExecutor{}
+	}
+	if cfg.MaxGrid <= 0 {
+		cfg.MaxGrid = 16
+	}
+	if cfg.MaxCampaignCells <= 0 {
+		cfg.MaxCampaignCells = 10_000
+	}
+	if cfg.MaxActiveCampaigns <= 0 {
+		cfg.MaxActiveCampaigns = 4
+	}
+	return &Server{
+		cache:     cfg.Cache,
+		exec:      cfg.Executor,
+		maxGrid:   cfg.MaxGrid,
+		maxCells:  cfg.MaxCampaignCells,
+		maxActive: cfg.MaxActiveCampaigns,
+		jobs:      make(map[string]*job),
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("POST /v1/campaign", s.handleCampaignSubmit)
+	mux.HandleFunc("GET /v1/campaign/{id}", s.handleCampaignStatus)
+	return mux
+}
+
+// --- JSON wire types ---
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type healthzResponse struct {
+	Status string            `json:"status"`
+	Cache  engine.CacheStats `json:"cache"`
+}
+
+// WorkloadSpec names one workload: exactly one of StreamIt (a Table 1
+// application name, optionally rescaled to CCR; 0 keeps the original) or
+// Random (a seeded random SPG).
+type WorkloadSpec struct {
+	StreamIt string          `json:"streamit,omitempty"`
+	CCR      float64         `json:"ccr,omitempty"`
+	Random   *RandomWorkload `json:"random,omitempty"`
+}
+
+// RandomWorkload identifies one generated random SPG; the same values always
+// regenerate the identical graph.
+type RandomWorkload struct {
+	N         int     `json:"n"`
+	Elevation int     `json:"elevation"`
+	Seed      int64   `json:"seed"`
+	CCR       float64 `json:"ccr"`
+}
+
+type mapRequest struct {
+	Workload WorkloadSpec `json:"workload"`
+	P        int          `json:"p"`
+	Q        int          `json:"q"`
+	Seed     int64        `json:"seed"`
+}
+
+type mapResponse struct {
+	Key      string                     `json:"key"`
+	Feasible bool                       `json:"feasible"`
+	Result   experiments.InstanceResult `json:"result"`
+	Best     string                     `json:"best,omitempty"`
+}
+
+type campaignRequest struct {
+	StreamIt *streamItCampaignRequest `json:"streamit,omitempty"`
+	Random   *randomCampaignRequest   `json:"random,omitempty"`
+}
+
+type streamItCampaignRequest struct {
+	P    int      `json:"p"`
+	Q    int      `json:"q"`
+	Apps []string `json:"apps,omitempty"` // nil = full suite
+	Seed int64    `json:"seed"`
+}
+
+type randomCampaignRequest struct {
+	N             int     `json:"n"`
+	P             int     `json:"p"`
+	Q             int     `json:"q"`
+	CCR           float64 `json:"ccr"`
+	MinElevation  int     `json:"min_elevation,omitempty"`
+	MaxElevation  int     `json:"max_elevation"`
+	GraphsPerElev int     `json:"graphs_per_elev,omitempty"`
+	Seed          int64   `json:"seed"`
+}
+
+type campaignSubmitResponse struct {
+	ID        string `json:"id"`
+	StatusURL string `json:"status_url"`
+	Total     int    `json:"total"`
+}
+
+type campaignStatusResponse struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Status string `json:"status"`
+	Done   int64  `json:"done"`
+	Total  int    `json:"total"`
+	Result any    `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok", Cache: s.cache.Stats()})
+}
+
+func (s *Server) checkGrid(p, q int) error {
+	if p < 1 || q < 1 || p > s.maxGrid || q > s.maxGrid {
+		return fmt.Errorf("grid %dx%d outside [1, %d] per side", p, q, s.maxGrid)
+	}
+	return nil
+}
+
+// cellFor resolves a workload spec to its engine cell.
+func (s *Server) cellFor(spec WorkloadSpec, p, q int, seed int64) (engine.Cell, error) {
+	switch {
+	case spec.StreamIt != "" && spec.Random != nil:
+		return engine.Cell{}, fmt.Errorf("workload names both streamit and random")
+	case spec.StreamIt != "":
+		a, err := streamit.ByName(spec.StreamIt)
+		if err != nil {
+			return engine.Cell{}, err
+		}
+		ccr := spec.CCR
+		if ccr == 0 {
+			ccr = a.CCR
+		}
+		if ccr < 0 {
+			return engine.Cell{}, fmt.Errorf("ccr %g is negative", ccr)
+		}
+		return experiments.NewStreamItCell(a, ccr, p, q, seed), nil
+	case spec.Random != nil:
+		rw := spec.Random
+		if rw.N < 2 {
+			return engine.Cell{}, fmt.Errorf("random workload needs n >= 2, got %d", rw.N)
+		}
+		if rw.Elevation < 1 {
+			return engine.Cell{}, fmt.Errorf("random workload needs elevation >= 1, got %d", rw.Elevation)
+		}
+		if rw.CCR < 0 {
+			return engine.Cell{}, fmt.Errorf("ccr %g is negative", rw.CCR)
+		}
+		return experiments.NewRandomCell(rw.N, rw.Elevation, rw.Seed, rw.CCR, p, q), nil
+	default:
+		return engine.Cell{}, fmt.Errorf("workload names neither streamit nor random")
+	}
+}
+
+// handleMap answers one workload synchronously: resolve the cell, solve it
+// through the shared cache (a repeated request replays from warm analyses),
+// return the period-selection result. Infeasible workloads — no heuristic
+// succeeds even at the 1 s starting period — answer 422 with feasible=false
+// and the failing outcomes, distinguishing "the service cannot map this"
+// from request errors.
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	var req mapRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if err := s.checkGrid(req.P, req.Q); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	cell, err := s.cellFor(req.Workload, req.P, req.Q, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	res := engine.Solve(cell, s.cache)
+	if res.Err != nil {
+		writeError(w, http.StatusInternalServerError, "workload build failed: %v", res.Err)
+		return
+	}
+	resp := mapResponse{Key: res.Key, Feasible: res.Feasible, Result: res.Result}
+	if !res.Feasible {
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		return
+	}
+	best := res.Result.BestEnergy()
+	for _, o := range res.Result.Outcomes {
+		if o.OK && o.Energy == best {
+			resp.Best = o.Heuristic
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCampaignSubmit validates a campaign, registers a job and runs it
+// asynchronously on the shared executor; the response is the id to poll.
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	var req campaignRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	var (
+		kind   string
+		cells  []engine.Cell
+		reduce func([]engine.CellResult) (any, error)
+	)
+	switch {
+	case req.StreamIt != nil && req.Random != nil:
+		writeError(w, http.StatusBadRequest, "bad request: campaign names both streamit and random")
+		return
+	case req.StreamIt != nil:
+		c := req.StreamIt
+		if err := s.checkGrid(c.P, c.Q); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		var apps []streamit.App
+		if c.Apps != nil {
+			for _, name := range c.Apps {
+				a, err := streamit.ByName(name)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, "bad request: %v", err)
+					return
+				}
+				apps = append(apps, a)
+			}
+			if len(apps) == 0 {
+				writeError(w, http.StatusBadRequest, "bad request: empty application list")
+				return
+			}
+		}
+		kind = "streamit"
+		cells = experiments.StreamItCells(c.P, c.Q, apps, c.Seed)
+		reduce = func(results []engine.CellResult) (any, error) {
+			return experiments.ReduceStreamIt(c.P, c.Q, apps, results)
+		}
+	case req.Random != nil:
+		c := req.Random
+		if err := s.checkGrid(c.P, c.Q); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		if c.N < 2 {
+			writeError(w, http.StatusBadRequest, "bad request: random campaign needs n >= 2, got %d", c.N)
+			return
+		}
+		cfg := experiments.RandomConfig{
+			N: c.N, P: c.P, Q: c.Q, CCR: c.CCR,
+			MinElevation: c.MinElevation, MaxElevation: c.MaxElevation,
+			GraphsPerElev: c.GraphsPerElev, Seed: c.Seed,
+			Cache: s.cache,
+		}
+		// Admission control before enumeration: NumCells is arithmetic, so an
+		// absurd elevation range is rejected without materializing anything.
+		if n := cfg.NumCells(); n > int64(s.maxCells) {
+			writeError(w, http.StatusBadRequest, "bad request: campaign has %d cells, limit %d", n, s.maxCells)
+			return
+		}
+		var err error
+		cells, err = experiments.RandomCells(cfg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		kind = "random"
+		reduce = func(results []engine.CellResult) (any, error) {
+			return experiments.ReduceRandom(cfg, results)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "bad request: campaign names neither streamit nor random")
+		return
+	}
+	if len(cells) > s.maxCells {
+		writeError(w, http.StatusBadRequest, "bad request: campaign has %d cells, limit %d", len(cells), s.maxCells)
+		return
+	}
+
+	s.mu.Lock()
+	if s.running >= s.maxActive {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "%d campaigns already running, limit %d; retry later", s.maxActive, s.maxActive)
+		return
+	}
+	s.running++
+	s.nextID++
+	j := &job{id: fmt.Sprintf("c%d", s.nextID), kind: kind, total: len(cells), status: "running"}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	go s.runCampaign(j, cells, reduce)
+
+	writeJSON(w, http.StatusAccepted, campaignSubmitResponse{
+		ID:        j.id,
+		StatusURL: "/v1/campaign/" + j.id,
+		Total:     j.total,
+	})
+}
+
+func (s *Server) runCampaign(j *job, cells []engine.Cell, reduce func([]engine.CellResult) (any, error)) {
+	results, err := engine.Run(context.Background(), s.exec, engine.Campaign{
+		Cells:  cells,
+		Cache:  s.cache,
+		OnCell: func(engine.CellResult) { j.done.Add(1) },
+	})
+	var result any
+	if err == nil {
+		result, err = reduce(results)
+	}
+	// Release the active-campaign slot before the job turns visible as
+	// finished, so a poller that observes "done" can immediately submit the
+	// next campaign without racing a 429.
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.status = "failed"
+		j.errMsg = err.Error()
+		return
+	}
+	j.status = "done"
+	j.result = result
+}
+
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	j.mu.Lock()
+	resp := campaignStatusResponse{
+		ID:     j.id,
+		Kind:   j.kind,
+		Status: j.status,
+		Done:   j.done.Load(),
+		Total:  j.total,
+		Result: j.result,
+		Error:  j.errMsg,
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,366 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"spgcmp/internal/engine"
+	"spgcmp/internal/experiments"
+	"spgcmp/internal/streamit"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *engine.AnalysisCache) {
+	t.Helper()
+	cache := engine.NewAnalysisCache(32)
+	srv := New(Config{Cache: cache, MaxCampaignCells: 64})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, cache
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var resp healthzResponse
+	if code := getJSON(t, ts.URL+"/v1/healthz", &resp); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if resp.Status != "ok" {
+		t.Errorf("status %q", resp.Status)
+	}
+	if resp.Cache.Capacity != 32 {
+		t.Errorf("cache capacity %d, want 32", resp.Cache.Capacity)
+	}
+}
+
+func TestMapStreamIt(t *testing.T) {
+	ts, cache := newTestServer(t)
+	body := `{"workload":{"streamit":"DCT","ccr":1},"p":2,"q":2,"seed":42}`
+	resp, data := postJSON(t, ts.URL+"/v1/map", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map status %d: %s", resp.StatusCode, data)
+	}
+	var mr mapResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Feasible || mr.Best == "" {
+		t.Fatalf("map response %+v", mr)
+	}
+	if len(mr.Result.Outcomes) != len(experiments.HeuristicNames) {
+		t.Fatalf("%d outcomes", len(mr.Result.Outcomes))
+	}
+
+	// The service answer must be bit-identical to the in-process protocol.
+	a, err := streamit.ByName("DCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := engine.Solve(experiments.NewStreamItCell(a, 1, 2, 2, 42), nil)
+	if math.Float64bits(mr.Result.Period) != math.Float64bits(want.Result.Period) {
+		t.Errorf("period %g != %g", mr.Result.Period, want.Result.Period)
+	}
+	for i, o := range mr.Result.Outcomes {
+		w := want.Result.Outcomes[i]
+		if o.Heuristic != w.Heuristic || o.OK != w.OK ||
+			(o.OK && math.Float64bits(o.Energy) != math.Float64bits(w.Energy)) {
+			t.Errorf("outcome %s: %+v != %+v", o.Heuristic, o, w)
+		}
+	}
+
+	// A second identical request hits the warm cache and still matches.
+	before := cache.Stats().Hits
+	resp2, data2 := postJSON(t, ts.URL+"/v1/map", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat map status %d", resp2.StatusCode)
+	}
+	var mr2 mapResponse
+	if err := json.Unmarshal(data2, &mr2); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(mr2.Result.Period) != math.Float64bits(mr.Result.Period) {
+		t.Error("warm-cache answer drifted")
+	}
+	if cache.Stats().Hits <= before {
+		t.Error("repeat request did not hit the cache")
+	}
+}
+
+func TestMapRandomWorkload(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/map",
+		`{"workload":{"random":{"n":20,"elevation":3,"seed":5,"ccr":10}},"p":4,"q":4,"seed":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map status %d: %s", resp.StatusCode, data)
+	}
+	var mr mapResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Feasible {
+		t.Fatalf("random workload infeasible: %+v", mr)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name, body string
+		code       int
+	}{
+		{"malformed", `{"workload":`, http.StatusBadRequest},
+		{"unknown field", `{"workload":{"streamit":"DCT"},"p":2,"q":2,"bogus":1}`, http.StatusBadRequest},
+		{"unknown app", `{"workload":{"streamit":"NoSuchApp"},"p":2,"q":2}`, http.StatusBadRequest},
+		{"no workload", `{"p":2,"q":2}`, http.StatusBadRequest},
+		{"both workloads", `{"workload":{"streamit":"DCT","random":{"n":10,"elevation":1}},"p":2,"q":2}`, http.StatusBadRequest},
+		{"bad grid", `{"workload":{"streamit":"DCT"},"p":0,"q":2}`, http.StatusBadRequest},
+		{"huge grid", `{"workload":{"streamit":"DCT"},"p":64,"q":64}`, http.StatusBadRequest},
+		{"bad random n", `{"workload":{"random":{"n":1,"elevation":1}},"p":2,"q":2}`, http.StatusBadRequest},
+		// 50 stages of >= 0.01 Gcycles on a single 1 GHz core cannot meet
+		// the 1 s starting period: infeasible, not a request error.
+		{"infeasible", `{"workload":{"random":{"n":50,"elevation":1,"seed":3,"ccr":1}},"p":1,"q":1,"seed":1}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, data := postJSON(t, ts.URL+"/v1/map", tc.body)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.code, data)
+		}
+		if tc.name == "infeasible" {
+			var mr mapResponse
+			if err := json.Unmarshal(data, &mr); err != nil {
+				t.Fatal(err)
+			}
+			if mr.Feasible {
+				t.Error("infeasible answer claims feasibility")
+			}
+			if len(mr.Result.Outcomes) == 0 {
+				t.Error("infeasible answer carries no outcomes")
+			}
+		}
+	}
+}
+
+// waitForCampaign polls the status endpoint until the job leaves "running".
+func waitForCampaign(t *testing.T, url string) campaignStatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st campaignStatusResponse
+		if code := getJSON(t, url, &st); code != http.StatusOK {
+			t.Fatalf("status poll returned %d", code)
+		}
+		if st.Status != "running" {
+			return st
+		}
+		if st.Done < 0 || st.Done > int64(st.Total) {
+			t.Fatalf("progress %d/%d out of range", st.Done, st.Total)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign still running after deadline: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestCampaignStreamItRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/campaign",
+		`{"streamit":{"p":2,"q":2,"apps":["DCT"],"seed":9}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, data)
+	}
+	var sub campaignSubmitResponse
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Total != 4 {
+		t.Fatalf("total %d, want 4 CCR cells", sub.Total)
+	}
+	st := waitForCampaign(t, ts.URL+sub.StatusURL)
+	if st.Status != "done" {
+		t.Fatalf("campaign ended %q: %s", st.Status, st.Error)
+	}
+	if st.Done != int64(st.Total) {
+		t.Errorf("done %d != total %d", st.Done, st.Total)
+	}
+
+	// The embedded result must be the bit-identical campaign table.
+	var apps []streamit.App
+	a, err := streamit.ByName("DCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps = append(apps, a)
+	want, err := experiments.RunStreamItWith(2, 2, apps, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got experiments.StreamItResult
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(want.Cells) {
+		t.Fatalf("%d cells, want %d", len(got.Cells), len(want.Cells))
+	}
+	for i := range got.Cells {
+		g, w := got.Cells[i], want.Cells[i]
+		if g.CCRLabel != w.CCRLabel || math.Float64bits(g.Result.Period) != math.Float64bits(w.Result.Period) {
+			t.Errorf("cell %d: (%s, %g) vs (%s, %g)", i, g.CCRLabel, g.Result.Period, w.CCRLabel, w.Result.Period)
+		}
+		for j, o := range g.Result.Outcomes {
+			wo := w.Result.Outcomes[j]
+			if o.OK != wo.OK || (o.OK && math.Float64bits(o.Energy) != math.Float64bits(wo.Energy)) {
+				t.Errorf("cell %d %s: %+v != %+v", i, o.Heuristic, o, wo)
+			}
+		}
+	}
+}
+
+func TestCampaignRandomRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/campaign",
+		`{"random":{"n":20,"p":2,"q":2,"ccr":1,"max_elevation":2,"graphs_per_elev":2,"seed":11}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, data)
+	}
+	var sub campaignSubmitResponse
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Total != 4 {
+		t.Fatalf("total %d, want 2 elevations x 2 graphs", sub.Total)
+	}
+	st := waitForCampaign(t, ts.URL+sub.StatusURL)
+	if st.Status != "done" {
+		t.Fatalf("campaign ended %q: %s", st.Status, st.Error)
+	}
+	raw, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got experiments.RandomResult
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(got.Points))
+	}
+	for _, pt := range got.Points {
+		if len(pt.MeanInvNorm) != len(experiments.HeuristicNames) {
+			t.Errorf("elevation %d: %d heuristics", pt.Elevation, len(pt.MeanInvNorm))
+		}
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed", `{"streamit":`},
+		{"neither", `{}`},
+		{"both", `{"streamit":{"p":2,"q":2},"random":{"n":10,"p":2,"q":2,"ccr":1,"max_elevation":1}}`},
+		{"unknown app", `{"streamit":{"p":2,"q":2,"apps":["Nope"]}}`},
+		{"empty apps", `{"streamit":{"p":2,"q":2,"apps":[]}}`},
+		{"bad grid", `{"streamit":{"p":0,"q":2}}`},
+		{"bad elevation range", `{"random":{"n":10,"p":2,"q":2,"ccr":1,"min_elevation":5,"max_elevation":2}}`},
+		{"too many cells", `{"random":{"n":10,"p":2,"q":2,"ccr":1,"max_elevation":10,"graphs_per_elev":100,"seed":1}}`},
+		// Rejected arithmetically, before any cell is materialized: a
+		// response at all proves the server did not try to allocate 2e11
+		// cells.
+		{"absurd elevation range", `{"random":{"n":10,"p":2,"q":2,"ccr":1,"max_elevation":2000000000,"seed":1}}`},
+	}
+	for _, tc := range cases {
+		resp, data := postJSON(t, ts.URL+"/v1/campaign", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, data)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/v1/campaign/nope", nil); code != http.StatusNotFound {
+		t.Errorf("unknown campaign id: status %d, want 404", code)
+	}
+}
+
+// gatedExecutor blocks every Execute until released, so a test can hold a
+// campaign in the running state deterministically.
+type gatedExecutor struct {
+	release chan struct{}
+	inner   engine.PoolExecutor
+}
+
+func (g *gatedExecutor) Execute(ctx context.Context, n int, run func(i int)) error {
+	<-g.release
+	return g.inner.Execute(ctx, n, run)
+}
+
+// TestCampaignActiveLimit: submissions beyond MaxActiveCampaigns answer 429
+// until a running campaign finishes.
+func TestCampaignActiveLimit(t *testing.T) {
+	gate := &gatedExecutor{release: make(chan struct{})}
+	srv := New(Config{
+		Cache:              engine.NewAnalysisCache(8),
+		Executor:           gate,
+		MaxActiveCampaigns: 1,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	body := `{"streamit":{"p":2,"q":2,"apps":["DCT"],"seed":1}}`
+	resp, data := postJSON(t, ts.URL+"/v1/campaign", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d (%s)", resp.StatusCode, data)
+	}
+	var sub campaignSubmitResponse
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if resp2, _ := postJSON(t, ts.URL+"/v1/campaign", body); resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit: %d, want 429", resp2.StatusCode)
+	}
+	close(gate.release)
+	if st := waitForCampaign(t, ts.URL+sub.StatusURL); st.Status != "done" {
+		t.Fatalf("gated campaign ended %q: %s", st.Status, st.Error)
+	}
+	if resp3, _ := postJSON(t, ts.URL+"/v1/campaign", body); resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-completion submit: %d, want 202", resp3.StatusCode)
+	}
+}

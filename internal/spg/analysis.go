@@ -3,6 +3,7 @@ package spg
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // Analysis is a per-graph cache of the period-independent structures the
@@ -131,12 +132,28 @@ type downsetSlot struct {
 // slice installs cells under a short lock and each cell builds outside it.
 type lazySlot[T any] struct {
 	once sync.Once
+	done atomic.Bool
 	v    T
 }
 
 func (s *lazySlot[T]) get(build func() T) T {
-	s.once.Do(func() { s.v = build() })
+	s.once.Do(func() {
+		s.v = build()
+		s.done.Store(true)
+	})
 	return s.v
+}
+
+// value observes the slot without building: it returns the memoized value
+// and true once a build has completed (the atomic flag orders the read after
+// the build's writes). MemoryFootprint probes slots this way so accounting
+// never forces a structure into existence.
+func (s *lazySlot[T]) value() (T, bool) {
+	if !s.done.Load() {
+		var zero T
+		return zero, false
+	}
+	return s.v, true
 }
 
 // NewAnalysis wraps g in an empty cache, founding a new scale family. The
