@@ -8,7 +8,10 @@ package spgcmp_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
@@ -724,5 +727,51 @@ func BenchmarkEngineCampaignLegacy(b *testing.B) {
 		}
 		close(next)
 		wg.Wait()
+	}
+}
+
+// BenchmarkShardExecutor measures a warm StreamIt campaign through the
+// distributed path: specs serialized over HTTP/JSON to two in-process
+// workers (httptest servers sharing the campaign cache), wire results
+// reassembled by index. Compare with BenchmarkEngineCampaign — the same
+// campaign on the in-process pool — to see what the wire crossing costs;
+// results are bit-identical by the shard-equivalence suite.
+func BenchmarkShardExecutor(b *testing.B) {
+	apps := benchApps(b)
+	cache := benchEngineCache(b, apps)
+	worker := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			var req engine.ExecuteCellsRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			results, err := engine.ExecuteSpecs(r.Context(), nil, req.Cells, cache)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			_ = json.NewEncoder(w).Encode(engine.ExecuteCellsResponse{Results: results})
+		}))
+	}
+	w1, w2 := worker(), worker()
+	defer w1.Close()
+	defer w2.Close()
+	ex := &engine.ShardExecutor{Workers: []string{w1.URL, w2.URL}, Shards: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := engine.Run(context.Background(), ex, engine.Campaign{
+			Cells: experiments.StreamItCells(4, 4, apps, 1),
+			Cache: cache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.ReduceStreamIt(4, 4, apps, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if ex.Fallbacks() > 0 {
+		b.Fatalf("%d shard ranges fell back locally", ex.Fallbacks())
 	}
 }

@@ -2,6 +2,13 @@
 // stack behind POST /v1/map and POST /v1/campaign, backed by the shared
 // campaign engine and the campaign-scope analysis cache (see
 // internal/service and the README next to this file).
+//
+// Every spgserve process also answers the shard-worker endpoint
+// POST /v1/cells/execute, so a cluster is just N ordinary instances plus one
+// coordinator started with -worker flags naming them: the coordinator's
+// campaigns are partitioned into cell ranges, shipped to the workers, and
+// reassembled — bit-identical to a single-process run, with local fallback
+// when a worker fails.
 package main
 
 import (
@@ -10,12 +17,14 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"spgcmp/internal/engine"
 	"spgcmp/internal/service"
 )
 
 func main() {
+	var workerURLs []string
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		cacheSize  = flag.Int("cache-entries", 512, "campaign cache capacity in workloads; <= 0 removes the entry bound, which with -cache-mb 0 disables caching entirely")
@@ -23,26 +32,59 @@ func main() {
 		workers    = flag.Int("workers", 0, "campaign executor workers (0 = GOMAXPROCS)")
 		maxCells   = flag.Int("max-campaign-cells", 10_000, "largest accepted campaign, in cells")
 		maxGrid    = flag.Int("max-grid", 16, "largest accepted CMP side")
+		maxRanges  = flag.Int("max-active-ranges", 4, "concurrently executing /v1/cells/execute ranges; beyond it workers answer 429")
+		shards     = flag.Int("shards", 0, "cell ranges to partition sharded campaigns into (0 = one per -worker)")
+		jobTTL     = flag.Duration("job-ttl", time.Hour, "how long finished campaign jobs stay pollable (negative disables)")
+		maxJobs    = flag.Int("max-finished-jobs", 64, "retained finished campaign jobs, oldest evicted first (negative disables)")
 		quickstart = flag.Bool("h-examples", false, "print example requests and exit")
 	)
+	flag.Func("worker", "shard-worker base URL (repeatable); campaigns shard across all listed workers", func(u string) error {
+		if u == "" {
+			return fmt.Errorf("empty worker URL")
+		}
+		workerURLs = append(workerURLs, u)
+		return nil
+	})
 	flag.Parse()
 	if *quickstart {
 		fmt.Println(`curl localhost:8080/v1/healthz
 curl -X POST localhost:8080/v1/map -d '{"workload":{"streamit":"FFT","ccr":1},"p":4,"q":4,"seed":42}'
 curl -X POST localhost:8080/v1/campaign -d '{"streamit":{"p":4,"q":4,"apps":["DCT","FFT"],"seed":42}}'
-curl localhost:8080/v1/campaign/c1`)
+curl localhost:8080/v1/campaign/c1
+curl -X DELETE localhost:8080/v1/campaign/c1
+# coordinator of a 3-process cluster (see README.md):
+#   spgserve -addr :8080 -worker http://127.0.0.1:8081 -worker http://127.0.0.1:8082 -shards 4`)
 		os.Exit(0)
 	}
 
 	cache := engine.NewAnalysisCacheBytes(*cacheSize, *cacheMB<<20)
+	pool := &engine.PoolExecutor{Workers: *workers}
+	var exec engine.Executor = pool
+	if len(workerURLs) > 0 {
+		exec = &engine.ShardExecutor{
+			Workers:       workerURLs,
+			Shards:        *shards,
+			LocalFallback: *pool,
+			OnFallback: func(start, end int, err error) {
+				log.Printf("shard range [%d,%d) fell back to local execution: %v", start, end, err)
+			},
+		}
+	}
 	srv := service.New(service.Config{
 		Cache:            cache,
-		Executor:         &engine.PoolExecutor{Workers: *workers},
+		Executor:         exec,
 		MaxGrid:          *maxGrid,
 		MaxCampaignCells: *maxCells,
+		MaxActiveRanges:  *maxRanges,
+		JobTTL:           *jobTTL,
+		MaxFinishedJobs:  *maxJobs,
 	})
-	log.Printf("spgserve listening on %s (cache: %d entries, %d MiB; workers: %d)",
-		*addr, *cacheSize, *cacheMB, *workers)
+	role := "single-process"
+	if len(workerURLs) > 0 {
+		role = fmt.Sprintf("coordinator of %d workers", len(workerURLs))
+	}
+	log.Printf("spgserve listening on %s (%s; cache: %d entries, %d MiB; workers: %d)",
+		*addr, role, *cacheSize, *cacheMB, *workers)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}

@@ -77,24 +77,44 @@
 // # The campaign engine and the mapping service
 //
 // internal/engine turns any campaign into deterministic, individually
-// addressable cells — one (workload identity, CCR, grid, solver options)
-// point each, self-contained behind a seeded builder — executed through a
-// pluggable Executor (an in-process worker pool today; the interface is the
-// seam for a distributed shard runner) with the campaign cache threaded
-// through, and folded by order-independent reducers over the indexed
-// results. RunStreamIt, RunRandom and SelectPeriod are thin adapters over
-// it (cell enumeration plus a reducer each), and the equivalence suite
-// proves engine-run campaigns bit-identical to the pre-engine loops for
-// every (app, CCR, period, heuristic) cell at any worker count, cached or
-// not.
+// addressable cells — one (workload identity, CCR, grid, period divisions,
+// solver options) point each, declared by a JSON-serializable CellSpec from
+// which a workload registry (StreamIt name / random-SPG parameters / inline
+// SPG / custom kinds) rebuilds the seeded instance — executed through a
+// pluggable Executor with the campaign cache threaded through, and folded
+// by order-independent reducers over the indexed results. RunStreamIt,
+// RunRandom and SelectPeriod are thin adapters over it (cell enumeration
+// plus a reducer each), and the equivalence suite proves engine-run
+// campaigns bit-identical to the pre-engine loops for every (app, CCR,
+// period, heuristic) cell at any worker count, cached or not.
+//
+// Two executors implement the seam. PoolExecutor runs cells on an
+// in-process worker pool. ShardExecutor is the distributed layer: it
+// partitions the cell index space into contiguous ranges, ships each
+// range's specs to a remote worker process over HTTP/JSON
+// (POST /v1/cells/execute), and reassembles the wire results at their
+// absolute indexes. Because cells are pure functions of their specs,
+// a range whose worker errors, times out or dies mid-request is simply
+// re-executed on the local fallback pool — the shard-equivalence suite
+// proves campaign results bit-identical to the PoolExecutor at any shard
+// count, with and without injected worker failures. Results cross the wire
+// losslessly: CellOutcome (float64 energies round-trip bit-exactly through
+// encoding/json) optionally carries the winning placement as
+// mapping.WireMapping, the platform-independent canonical wire form of a
+// Mapping.
 //
 // internal/service exposes the engine over HTTP/JSON (cmd/spgserve):
-// POST /v1/map answers one workload with the period-selection protocol,
-// POST /v1/campaign runs whole campaigns asynchronously with cell-level
-// progress polling at GET /v1/campaign/{id}, and GET /v1/healthz reports
-// the shared cache's statistics. One engine and one cache back both
-// endpoints, so a service that has mapped a workload family once answers
-// every later request on it from warm structures.
+// POST /v1/map answers one workload with the period-selection protocol plus
+// the winning mapping's placement, POST /v1/campaign runs whole campaigns
+// asynchronously with cell-level progress polling at GET /v1/campaign/{id}
+// and cancellation at DELETE /v1/campaign/{id} (finished jobs are retained
+// under TTL and count bounds), and GET /v1/healthz reports the shared
+// cache's statistics. Every instance also answers the shard-worker endpoint
+// POST /v1/cells/execute, so a cluster is N ordinary spgserve processes
+// plus a coordinator started with -worker flags naming them (campaign
+// submissions can also carry an explicit worker list). One engine and one
+// cache back all endpoints, so a service that has mapped a workload family
+// once answers every later request on it from warm structures.
 //
 // BenchmarkCampaign vs BenchmarkCampaignUncached quantifies the end-to-end
 // effect on the full StreamIt suite (all CCR variants, warm cache; >20x on a
@@ -110,5 +130,6 @@
 // examples/period-sweep documents the cache layers from a user's
 // perspective. The benchmarks in bench_test.go regenerate each table and
 // figure at reduced scale; BenchmarkEngineCampaign vs
-// BenchmarkEngineCampaignLegacy isolates the engine indirection's cost.
+// BenchmarkEngineCampaignLegacy isolates the engine indirection's cost, and
+// BenchmarkShardExecutor the wire crossing of the distributed path.
 package spgcmp

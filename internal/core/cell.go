@@ -1,14 +1,23 @@
 package core
 
+import "spgcmp/internal/mapping"
+
 // CellOutcome records one heuristic's result on one instance — the unit row
 // of every campaign table (the Outcome of the Section 6 figures). Failed
 // heuristics keep OK false and the zero Energy/ActiveCores; the paper counts
-// them in Tables 2 and 3.
+// them in Tables 2 and 3. The struct is its own stable wire form: every
+// field JSON-codes losslessly (float64s round-trip bit-exactly through
+// encoding/json), so outcomes survive the shard protocol and service
+// responses unchanged.
 type CellOutcome struct {
 	Heuristic   string  `json:"heuristic"`
 	OK          bool    `json:"ok"`
 	Energy      float64 `json:"energy,omitempty"`
 	ActiveCores int     `json:"active_cores,omitempty"`
+	// Mapping is the heuristic's placement in its platform-independent wire
+	// form, retained only under Options.KeepMappings (campaign tables drop
+	// placements; the mapping service keeps them to answer actionably).
+	Mapping *mapping.WireMapping `json:"mapping,omitempty"`
 }
 
 // SolveCell runs every heuristic of AllWith(o) on the instance, in the
@@ -29,6 +38,9 @@ func SolveCell(inst Instance, o Options) []CellOutcome {
 		out[i].OK = true
 		out[i].Energy = sol.Energy()
 		out[i].ActiveCores = sol.Result.ActiveCores
+		if o.KeepMappings {
+			out[i].Mapping = sol.Mapping.Wire(inst.Platform)
+		}
 	}
 	return out
 }

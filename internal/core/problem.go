@@ -154,16 +154,25 @@ func finish(name string, inst Instance, m *mapping.Mapping) (*Solution, error) {
 
 // Options configures the heuristic set returned by AllWith. The zero value
 // of every field means "library default", so callers override only what they
-// need.
+// need. Options is part of the campaign cell's wire form (engine.CellSpec),
+// so every field is plain JSON-codable data.
 type Options struct {
 	// Seed drives the Random heuristic.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// RandomTrials overrides the number of Random trials (default 10).
-	RandomTrials int
+	RandomTrials int `json:"random_trials,omitempty"`
 	// DPA1DMaxStates overrides the DPA1D downset state budget.
-	DPA1DMaxStates int
+	DPA1DMaxStates int `json:"dpa1d_max_states,omitempty"`
 	// DPA1DMaxTransitions overrides the DPA1D transition budget.
-	DPA1DMaxTransitions int
+	DPA1DMaxTransitions int `json:"dpa1d_max_transitions,omitempty"`
+	// KeepMappings attaches each successful heuristic's placement to its
+	// outcome (CellOutcome.Mapping) instead of dropping it after evaluation.
+	// It never changes what is solved or reported — only whether the winning
+	// mappings survive — so results with and without it differ solely by the
+	// mapping fields. Off by default: campaign tables only need energies,
+	// and retaining thousands of placements would be waste; the service's
+	// /v1/map turns it on to answer with actionable placements.
+	KeepMappings bool `json:"keep_mappings,omitempty"`
 }
 
 // All returns the five heuristics of the paper in presentation order, with

@@ -8,11 +8,13 @@
 // solving it runs the Section 6.1.3 period-selection protocol over all five
 // heuristics, so every (app, CCR, period division, heuristic) outcome of the
 // paper's figures is addressable as (cell key, period, heuristic) in the
-// cell's result. Cells are self-contained — a deterministic builder
-// regenerates the workload from its identity — which is what lets an executor
-// place them anywhere: the in-process PoolExecutor today, a distributed shard
-// runner behind the same Executor interface tomorrow (the ROADMAP's scaling
-// step; cache keys are already deterministic workload identities).
+// cell's result. Cells are self-contained — a declarative, JSON-serializable
+// CellSpec from which the workload registry regenerates the seeded instance —
+// which is what lets an executor place them anywhere: the in-process
+// PoolExecutor, or the ShardExecutor, which ships spec ranges to remote
+// worker processes over HTTP/JSON and reassembles their wire results,
+// bit-identical to a local run at any shard count (cells are deterministic,
+// so retries after worker failures are safe).
 //
 // The engine threads the campaign-scope AnalysisCache through the executor:
 // cells sharing a workload family (the CCR variants of one application)
@@ -27,36 +29,41 @@ package engine
 import (
 	"context"
 
-	"spgcmp/internal/core"
 	"spgcmp/internal/platform"
 	"spgcmp/internal/spg"
 )
 
 // Cell is one deterministic, individually-addressable unit of campaign work:
-// a workload identity plus the configuration of its solve. The zero-valued
-// fields of two equal cells must describe the same work — Build is required
-// to be a pure function of the cell's identity (seeded synthesis), so a cell
-// can be re-executed anywhere, any number of times, with bit-identical
-// results.
+// a declarative CellSpec, optionally overridden by a builder closure. The
+// spec alone describes the work — workload identity, CCR, grid, period
+// divisions, heuristic options — and the workload registry rebuilds the
+// seeded instance from it, so a spec-only cell can be re-executed anywhere
+// (any process, any number of times) with bit-identical results; that is the
+// property the ShardExecutor ships over the wire. The closure path remains
+// for cells whose workload cannot be named declaratively (tests, ad-hoc
+// graphs): Build, when set, replaces the registry synthesis and is required
+// to be a pure function of the cell's identity, but pins the cell to this
+// process.
 type Cell struct {
-	// Key addresses the cell within its campaign (unique per campaign).
-	Key string
-	// CacheKey is the workload family identity consulted in the
-	// AnalysisCache — the base (pre-CCR-scaling) analysis shared by every
-	// cell of the family. Empty opts the cell out of analysis sharing.
-	CacheKey string
-	// Build deterministically synthesizes the family-base analysis.
+	// Spec is the cell's declarative identity and wire form.
+	Spec CellSpec
+	// Build, when non-nil, overrides the registry synthesis of the family-
+	// base analysis (the legacy closure path). Cells with a Build are not
+	// wire-codable: a shard run executes them locally.
 	Build func() (*spg.Analysis, error)
-	// ScaleCCR derives this cell's analysis as the CCR scale-family member
-	// of the base; false solves the base as-is (random-SPG cells bake their
-	// CCR into generation instead).
-	ScaleCCR bool
-	CCR      float64
-	// P, Q select the CMP grid (the paper's XScale model).
-	P, Q int
-	// Opts configures the heuristic set; Opts.Seed drives the Random
-	// heuristic of this cell.
-	Opts core.Options
+}
+
+// WireCodable reports whether the cell can be shipped to a remote worker as
+// its spec alone.
+func (c Cell) WireCodable() bool { return c.Build == nil }
+
+// build synthesizes the family-base analysis: the closure override when set,
+// the workload registry otherwise.
+func (c Cell) build() (*spg.Analysis, error) {
+	if c.Build != nil {
+		return c.Build()
+	}
+	return c.Spec.Workload.Build()
 }
 
 // CellResult is one solved cell. Err is a workload build failure; Feasible
@@ -85,9 +92,11 @@ type Campaign struct {
 // Run executes every cell of the campaign through ex (nil selects an
 // in-process PoolExecutor at GOMAXPROCS) and returns the results indexed by
 // cell, so any fold over them is deterministic and order-independent
-// regardless of worker count or completion order. On context cancellation
-// the indexed slice is returned alongside the context error with the
-// unstarted cells zero-valued (Key empty).
+// regardless of worker count or completion order. A CampaignExecutor (the
+// ShardExecutor) receives the cells themselves so it can ship their specs to
+// remote workers; a plain Executor receives the index space. On context
+// cancellation the indexed slice is returned alongside the context error
+// with the unstarted cells zero-valued (Key empty).
 func Run(ctx context.Context, ex Executor, c Campaign) ([]CellResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -97,12 +106,19 @@ func Run(ctx context.Context, ex Executor, c Campaign) ([]CellResult, error) {
 	}
 	resolve := newResolver(c.Cells, c.Cache)
 	results := make([]CellResult, len(c.Cells))
-	err := ex.Execute(ctx, len(c.Cells), func(i int) {
-		results[i] = solveCell(i, c.Cells[i], resolve)
-		if c.OnCell != nil {
-			c.OnCell(results[i])
+	solve := func(i int) CellResult { return solveCell(i, c.Cells[i], resolve) }
+	record := func(r CellResult) {
+		if r.Index >= 0 && r.Index < len(results) {
+			results[r.Index] = r
 		}
-	})
+		if c.OnCell != nil {
+			c.OnCell(r)
+		}
+	}
+	if ce, ok := ex.(CampaignExecutor); ok {
+		return results, ce.ExecuteCampaign(ctx, c.Cells, solve, record)
+	}
+	err := ex.Execute(ctx, len(c.Cells), func(i int) { record(solve(i)) })
 	return results, err
 }
 
@@ -111,22 +127,22 @@ func Run(ctx context.Context, ex Executor, c Campaign) ([]CellResult, error) {
 // runs.
 func Solve(cell Cell, cache *AnalysisCache) CellResult {
 	return solveCell(0, cell, func(c Cell) (*spg.Analysis, error) {
-		return cache.Get(c.CacheKey, c.Build)
+		return cache.Get(c.Spec.CacheKey, c.build)
 	})
 }
 
 func solveCell(i int, cell Cell, resolve func(Cell) (*spg.Analysis, error)) CellResult {
-	r := CellResult{Index: i, Key: cell.Key}
+	r := CellResult{Index: i, Key: cell.Spec.Key}
 	an, err := resolve(cell)
 	if err != nil {
 		r.Err = err
 		return r
 	}
-	if cell.ScaleCCR {
-		an = an.ScaleToCCR(cell.CCR)
+	if cell.Spec.ScaleCCR {
+		an = an.ScaleToCCR(cell.Spec.CCR)
 	}
-	pl := platform.XScale(cell.P, cell.Q)
-	r.Result, r.Feasible = SelectPeriod(an, pl, cell.Opts)
+	pl := platform.XScale(cell.Spec.P, cell.Spec.Q)
+	r.Result, r.Feasible = SelectPeriodDivisions(an, pl, cell.Spec.Opts, cell.Spec.maxDivisions())
 	return r
 }
 
@@ -141,13 +157,13 @@ func solveCell(i int, cell Cell, resolve func(Cell) (*spg.Analysis, error)) Cell
 func newResolver(cells []Cell, cache *AnalysisCache) func(Cell) (*spg.Analysis, error) {
 	if cache.enabled() {
 		return func(c Cell) (*spg.Analysis, error) {
-			return cache.Get(c.CacheKey, c.Build)
+			return cache.Get(c.Spec.CacheKey, c.build)
 		}
 	}
 	counts := make(map[string]int)
 	for _, c := range cells {
-		if c.CacheKey != "" {
-			counts[c.CacheKey]++
+		if c.Spec.CacheKey != "" {
+			counts[c.Spec.CacheKey]++
 		}
 	}
 	shared := 0
@@ -157,13 +173,13 @@ func newResolver(cells []Cell, cache *AnalysisCache) func(Cell) (*spg.Analysis, 
 		}
 	}
 	if shared == 0 {
-		return func(c Cell) (*spg.Analysis, error) { return c.Build() }
+		return func(c Cell) (*spg.Analysis, error) { return c.build() }
 	}
 	run := NewAnalysisCache(shared)
 	return func(c Cell) (*spg.Analysis, error) {
-		if counts[c.CacheKey] > 1 {
-			return run.Get(c.CacheKey, c.Build)
+		if counts[c.Spec.CacheKey] > 1 {
+			return run.Get(c.Spec.CacheKey, c.build)
 		}
-		return c.Build()
+		return c.build()
 	}
 }

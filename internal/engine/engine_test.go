@@ -16,7 +16,9 @@ import (
 
 // testCells builds a small StreamIt-backed campaign without importing the
 // experiments adapters (which sit above this package): two applications,
-// two CCR variants each, on a 2x2 grid.
+// two CCR variants each, on a 2x2 grid. The cells are purely declarative
+// (wire-codable specs resolved through the workload registry), so shard
+// tests can reuse them.
 func testCells(t *testing.T) []Cell {
 	t.Helper()
 	var cells []Cell
@@ -26,23 +28,16 @@ func testCells(t *testing.T) []Cell {
 			t.Fatal(err)
 		}
 		for _, ccr := range []float64{a.CCR, 1} {
-			a, ccr := a, ccr
-			cells = append(cells, Cell{
+			cells = append(cells, CellSpec{
 				Key:      fmt.Sprintf("%s/ccr=%g", a.Name, ccr),
 				CacheKey: "streamit/" + a.Name,
-				Build: func() (*spg.Analysis, error) {
-					g, err := a.BaseGraph()
-					if err != nil {
-						return nil, err
-					}
-					return spg.NewAnalysis(g), nil
-				},
+				Workload: WorkloadSpec{StreamIt: a.Name},
 				ScaleCCR: true,
 				CCR:      ccr,
 				P:        2,
 				Q:        2,
 				Opts:     core.Options{Seed: 40 + int64(len(cells)), DPA1DMaxStates: 60_000},
-			})
+			}.Cell())
 		}
 	}
 	return cells
@@ -109,18 +104,16 @@ func TestRunSharesFamilyBasesWithoutCache(t *testing.T) {
 	var builds atomic.Int64
 	mk := func(key string) Cell {
 		return Cell{
-			Key:      key + "/cell",
-			CacheKey: key,
+			Spec: CellSpec{Key: key + "/cell", CacheKey: key, P: 2, Q: 2},
 			Build: func() (*spg.Analysis, error) {
 				builds.Add(1)
 				g, _ := spg.Chain([]float64{0.01, 0.01}, []float64{0.01})
 				return spg.NewAnalysis(g), nil
 			},
-			P: 2, Q: 2,
 		}
 	}
 	shared1, shared2 := mk("fam"), mk("fam")
-	shared2.Key = "fam/cell2"
+	shared2.Spec.Key = "fam/cell2"
 	unique := mk("solo")
 	if _, err := Run(context.Background(), &PoolExecutor{Workers: 1}, Campaign{Cells: []Cell{shared1, shared2, unique}}); err != nil {
 		t.Fatal(err)
@@ -135,7 +128,7 @@ func TestRunSharesFamilyBasesWithoutCache(t *testing.T) {
 func TestRunBuildErrors(t *testing.T) {
 	boom := errors.New("boom")
 	cells := []Cell{
-		{Key: "bad", Build: func() (*spg.Analysis, error) { return nil, boom }, P: 2, Q: 2},
+		{Spec: CellSpec{Key: "bad", P: 2, Q: 2}, Build: func() (*spg.Analysis, error) { return nil, boom }},
 		testCells(t)[0],
 	}
 	results, err := Run(context.Background(), &PoolExecutor{Workers: 2}, Campaign{Cells: cells})

@@ -14,12 +14,28 @@ import (
 // draining the in-flight ones, leaving unstarted cells untouched.
 //
 // The interface is the distribution seam of the engine: the in-process
-// PoolExecutor is the only implementation today, and a future shard runner
-// distributing index ranges across machines implements the same contract —
-// the cells themselves are self-contained (deterministic workload identities
-// and builders), so where run(i) executes never affects the result.
+// PoolExecutor implements it directly, and the ShardExecutor implements the
+// richer CampaignExecutor below — the cells themselves are self-contained
+// (deterministic workload identities and builders), so where run(i) executes
+// never affects the result.
 type Executor interface {
 	Execute(ctx context.Context, n int, run func(i int)) error
+}
+
+// CampaignExecutor is an Executor that schedules whole cells rather than an
+// opaque index space — the distributed seam. engine.Run hands a
+// CampaignExecutor the campaign's cells (so it can ship wire-codable specs
+// to remote workers), a solve function executing cell i locally, and a
+// record sink. The executor must deliver exactly one result per cell it
+// starts — either record(solve(i)) computed locally or a remotely-computed
+// CellResult carrying the cell's absolute index — and return once every
+// started cell's result is recorded. record is safe for concurrent use. A
+// cancelled context stops the executor from starting further cells;
+// ExecuteCampaign then returns the context's error after draining in-flight
+// work, leaving unstarted cells unrecorded.
+type CampaignExecutor interface {
+	Executor
+	ExecuteCampaign(ctx context.Context, cells []Cell, solve func(i int) CellResult, record func(CellResult)) error
 }
 
 // PoolExecutor runs cells on an in-process worker pool.

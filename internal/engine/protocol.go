@@ -46,7 +46,20 @@ func AnyOK(outcomes []Outcome) bool { return core.AnyOK(outcomes) }
 // starts from whatever structures earlier runs on the same workload family
 // already built.
 func SelectPeriod(an *spg.Analysis, pl *platform.Platform, opts core.Options) (InstanceResult, bool) {
-	const maxDivisions = 9
+	return SelectPeriodDivisions(an, pl, opts, DefaultMaxDivisions)
+}
+
+// DefaultMaxDivisions is the paper's cap on the period-selection protocol:
+// at most nine divisions by 10 below the 1 s starting period.
+const DefaultMaxDivisions = 9
+
+// SelectPeriodDivisions is SelectPeriod with an explicit cap on the number
+// of period divisions (<= 0 selects DefaultMaxDivisions) — the knob a
+// CellSpec carries so a cell's whole solve is declarative.
+func SelectPeriodDivisions(an *spg.Analysis, pl *platform.Platform, opts core.Options, maxDivisions int) (InstanceResult, bool) {
+	if maxDivisions <= 0 {
+		maxDivisions = DefaultMaxDivisions
+	}
 	inst := core.Instance{Graph: an.Graph(), Platform: pl, Period: 1.0, Analysis: an}
 	outcomes := core.SolveCell(inst, opts)
 	if !core.AnyOK(outcomes) {

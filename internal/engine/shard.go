@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WireCellResult is the wire form of a CellResult: the error crosses process
+// boundaries as its message, and the index is positional (a worker answers a
+// spec range in request order; the coordinator re-derives absolute indexes
+// from the range it dispatched, so a confused worker can never scatter
+// results into foreign cells).
+type WireCellResult struct {
+	Key      string         `json:"key"`
+	Feasible bool           `json:"feasible"`
+	Result   InstanceResult `json:"result"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// Wire converts the result for transport.
+func (r CellResult) Wire() WireCellResult {
+	w := WireCellResult{Key: r.Key, Feasible: r.Feasible, Result: r.Result}
+	if r.Err != nil {
+		w.Error = r.Err.Error()
+	}
+	return w
+}
+
+// CellResult rebuilds the executable-side result at the given absolute cell
+// index.
+func (w WireCellResult) CellResult(index int) CellResult {
+	r := CellResult{Index: index, Key: w.Key, Feasible: w.Feasible, Result: w.Result}
+	if w.Error != "" {
+		r.Err = errors.New(w.Error)
+	}
+	return r
+}
+
+// ExecuteCellsRequest is the body of the worker endpoint
+// POST /v1/cells/execute: a range of cell specs to solve.
+type ExecuteCellsRequest struct {
+	Cells []CellSpec `json:"cells"`
+}
+
+// ExecuteCellsResponse answers an ExecuteCellsRequest with one result per
+// requested cell, in request order.
+type ExecuteCellsResponse struct {
+	Results []WireCellResult `json:"results"`
+}
+
+// ExecuteSpecs solves a batch of wire-received cell specs on the local
+// engine — the worker half of the shard protocol, shared by the service's
+// /v1/cells/execute handler. Results are returned in request order. The
+// executor must not be a CampaignExecutor pointing back at this process
+// (callers pass their local pool).
+//
+// Because the specs cross a trust boundary, their CacheKeys are not honored
+// as sent: every caching cell resolves under the canonical FamilyKey derived
+// from its workload content, so a request can never alias another family's
+// entry in the shared cache (sharing semantics are unchanged — equal
+// workloads still share one base). An empty CacheKey still opts out.
+func ExecuteSpecs(ctx context.Context, ex Executor, specs []CellSpec, cache *AnalysisCache) ([]WireCellResult, error) {
+	cells := make([]Cell, len(specs))
+	for i, sp := range specs {
+		if sp.CacheKey != "" {
+			if key, err := sp.Workload.FamilyKey(); err == nil {
+				sp.CacheKey = key
+			} else {
+				sp.CacheKey = "" // malformed workload: Build will report it
+			}
+		}
+		cells[i] = sp.Cell()
+	}
+	results, err := Run(ctx, ex, Campaign{Cells: cells, Cache: cache})
+	if err != nil {
+		return nil, err
+	}
+	wire := make([]WireCellResult, len(results))
+	for i, r := range results {
+		wire[i] = r.Wire()
+	}
+	return wire, nil
+}
+
+// ShardExecutor distributes a campaign across remote worker processes: the
+// cell index space is partitioned into contiguous ranges, each range's specs
+// are POSTed to a worker's /v1/cells/execute endpoint, and the wire results
+// are reassembled at their absolute indexes — order-independent, exactly as
+// the PoolExecutor's. Cells are deterministic, so a range whose worker
+// fails, times out or dies mid-request is simply re-executed locally
+// (LocalFallback pool) with bit-identical results: a shard run can degrade
+// worker by worker all the way down to a plain local run without changing a
+// single bit of the campaign's outcome.
+//
+// Campaigns containing closure-backed cells (Cell.Build set) cannot cross
+// process boundaries and run entirely on the local pool.
+type ShardExecutor struct {
+	// Workers are the base URLs of the worker processes
+	// (e.g. "http://10.0.0.2:8080"). Empty runs everything locally.
+	Workers []string
+	// Shards is the number of index ranges to partition a campaign into;
+	// ranges are assigned to workers round-robin. 0 selects len(Workers).
+	// More shards than workers pipelines ranges per worker and narrows the
+	// blast radius of one failed request.
+	Shards int
+	// Client issues the worker requests; nil selects http.DefaultClient.
+	Client *http.Client
+	// RequestTimeout bounds one range request (default 10 min; a range is
+	// many full period-selection solves). On expiry the range falls back to
+	// local execution.
+	RequestTimeout time.Duration
+	// LocalFallback configures the in-process pool executing failed ranges
+	// and non-wire-codable campaigns; its zero value runs at GOMAXPROCS.
+	LocalFallback PoolExecutor
+	// OnFallback, when set, observes every range that fell back to local
+	// execution (called from dispatch goroutines, possibly concurrently).
+	OnFallback func(start, end int, err error)
+
+	// fallbacks counts ranges executed locally after a worker failure.
+	fallbacks atomic.Int64
+}
+
+// Fallbacks returns how many ranges fell back to local execution since the
+// executor was created — the coordinator's health signal for its workers.
+func (s *ShardExecutor) Fallbacks() int64 { return s.fallbacks.Load() }
+
+// Clone returns an executor with the same configuration and fresh counters.
+// A coordinator serving many campaigns clones its configured executor per
+// job so each job accounts its own fallbacks.
+func (s *ShardExecutor) Clone() *ShardExecutor {
+	return &ShardExecutor{
+		Workers:        s.Workers,
+		Shards:         s.Shards,
+		Client:         s.Client,
+		RequestTimeout: s.RequestTimeout,
+		LocalFallback:  s.LocalFallback,
+		OnFallback:     s.OnFallback,
+	}
+}
+
+// Execute implements the plain Executor contract. Without access to the
+// cells an index space cannot be shipped anywhere, so this path runs
+// entirely on the local fallback pool; engine.Run always hands a
+// ShardExecutor the cells via ExecuteCampaign instead.
+func (s *ShardExecutor) Execute(ctx context.Context, n int, run func(i int)) error {
+	return s.LocalFallback.Execute(ctx, n, run)
+}
+
+// ExecuteCampaign implements CampaignExecutor: partition, dispatch, reassemble,
+// fall back.
+func (s *ShardExecutor) ExecuteCampaign(ctx context.Context, cells []Cell, solve func(i int) CellResult, record func(CellResult)) error {
+	n := len(cells)
+	remote := len(s.Workers) > 0
+	for _, c := range cells {
+		if !c.WireCodable() {
+			remote = false
+			break
+		}
+	}
+	if !remote {
+		return s.LocalFallback.Execute(ctx, n, func(i int) { record(solve(i)) })
+	}
+	shards := s.Shards
+	if shards <= 0 {
+		shards = len(s.Workers)
+	}
+	if shards > n {
+		shards = n
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		start, end := shardRange(n, shards, k)
+		worker := s.Workers[k%len(s.Workers)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.runRange(ctx, worker, cells[start:end], start, solve, record)
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// shardRange returns the half-open index range of shard k when n cells are
+// split into `shards` balanced contiguous ranges (the first n%shards ranges
+// hold one extra cell).
+func shardRange(n, shards, k int) (start, end int) {
+	size, rem := n/shards, n%shards
+	start = k*size + min(k, rem)
+	end = start + size
+	if k < rem {
+		end++
+	}
+	return start, end
+}
+
+// runRange executes one contiguous range: remotely when the worker answers,
+// locally otherwise. base is the absolute index of cells[0].
+func (s *ShardExecutor) runRange(ctx context.Context, worker string, cells []Cell, base int, solve func(i int) CellResult, record func(CellResult)) {
+	results, err := s.dispatch(ctx, worker, cells)
+	if err == nil {
+		for j, w := range results {
+			record(w.CellResult(base + j))
+		}
+		return
+	}
+	if ctx.Err() != nil {
+		// The campaign was cancelled, not the worker lost: leave the range
+		// unstarted, as the Executor contract requires.
+		return
+	}
+	s.fallbacks.Add(1)
+	if s.OnFallback != nil {
+		s.OnFallback(base, base+len(cells), err)
+	}
+	// Deterministic cells make the retry safe; running it on the fallback
+	// pool means a lost worker costs its share of the cluster's throughput,
+	// not this process's parallelism.
+	_ = s.LocalFallback.Execute(ctx, len(cells), func(j int) { record(solve(base + j)) })
+}
+
+// dispatch ships one spec range to a worker and validates the response
+// shape: a result per cell, keys matching in order. Any transport error,
+// non-200 status, timeout or malformed response makes the range fall back.
+func (s *ShardExecutor) dispatch(ctx context.Context, worker string, cells []Cell) ([]WireCellResult, error) {
+	specs := make([]CellSpec, len(cells))
+	for i, c := range cells {
+		specs[i] = c.Spec
+	}
+	body, err := json.Marshal(ExecuteCellsRequest{Cells: specs})
+	if err != nil {
+		return nil, err
+	}
+	timeout := s.RequestTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Minute
+	}
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	url := strings.TrimRight(worker, "/") + "/v1/cells/execute"
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := s.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("worker %s answered %s: %s", worker, resp.Status, bytes.TrimSpace(msg))
+	}
+	var out ExecuteCellsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("worker %s: bad response: %w", worker, err)
+	}
+	if len(out.Results) != len(specs) {
+		return nil, fmt.Errorf("worker %s answered %d results for %d cells", worker, len(out.Results), len(specs))
+	}
+	for i := range out.Results {
+		if out.Results[i].Key != specs[i].Key {
+			return nil, fmt.Errorf("worker %s: result %d keyed %q, want %q", worker, i, out.Results[i].Key, specs[i].Key)
+		}
+	}
+	return out.Results, nil
+}

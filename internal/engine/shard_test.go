@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spgcmp/internal/core"
+	"spgcmp/internal/spg"
+)
+
+// newTestWorker starts an in-process worker speaking the shard protocol the
+// way the service's /v1/cells/execute handler does: decode specs, solve on a
+// local pool against the given cache, answer wire results in request order.
+func newTestWorker(t *testing.T, cache *AnalysisCache) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req ExecuteCellsRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		results, err := ExecuteSpecs(r.Context(), &PoolExecutor{}, req.Cells, cache)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(ExecuteCellsResponse{Results: results})
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestShardExecutorMatchesPool: the acceptance bar's engine half — shard
+// runs at 1, 2 and 4 shards, across 1 and 2 workers, must be bit-identical
+// to the in-process pool on the same cells.
+func TestShardExecutorMatchesPool(t *testing.T) {
+	cells := testCells(t)
+	cache := NewAnalysisCache(16)
+	want, err := Run(context.Background(), &PoolExecutor{}, Campaign{Cells: cells, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := newTestWorker(t, cache)
+	w2 := newTestWorker(t, cache)
+	for _, tc := range []struct {
+		name    string
+		workers []string
+		shards  int
+	}{
+		{"1worker/1shard", []string{w1.URL}, 1},
+		{"1worker/2shards", []string{w1.URL}, 2},
+		{"2workers/2shards", []string{w1.URL, w2.URL}, 2},
+		{"2workers/4shards", []string{w1.URL, w2.URL}, 4},
+		{"2workers/defaultshards", []string{w1.URL, w2.URL}, 0},
+	} {
+		ex := &ShardExecutor{Workers: tc.workers, Shards: tc.shards}
+		got, err := Run(context.Background(), ex, Campaign{Cells: cells, Cache: cache})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		requireSameResults(t, tc.name, got, want)
+		if n := ex.Fallbacks(); n != 0 {
+			t.Errorf("%s: %d unexpected local fallbacks", tc.name, n)
+		}
+	}
+}
+
+// TestShardExecutorFallback: a worker that errors, answers garbage, dies
+// mid-range, or is simply unreachable makes its ranges fall back to local
+// execution — with results still bit-identical to the pool.
+func TestShardExecutorFallback(t *testing.T) {
+	cells := testCells(t)
+	cache := NewAnalysisCache(16)
+	want, err := Run(context.Background(), &PoolExecutor{}, Campaign{Cells: cells, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := newTestWorker(t, cache)
+
+	erroring := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "worker on fire", http.StatusInternalServerError)
+	}))
+	t.Cleanup(erroring.Close)
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"results": [{"key": "not-your-cell"`)) // dies mid-response
+	}))
+	t.Cleanup(garbage.Close)
+	wrongKeys := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req ExecuteCellsRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		resp := ExecuteCellsResponse{Results: make([]WireCellResult, len(req.Cells))}
+		for i := range resp.Results {
+			resp.Results[i].Key = "imposter"
+		}
+		_ = json.NewEncoder(w).Encode(resp)
+	}))
+	t.Cleanup(wrongKeys.Close)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from now on
+
+	for _, tc := range []struct {
+		name    string
+		workers []string
+	}{
+		{"erroring+good", []string{erroring.URL, good.URL}},
+		{"garbage+good", []string{garbage.URL, good.URL}},
+		{"wrongkeys+good", []string{wrongKeys.URL, good.URL}},
+		{"dead+good", []string{dead.URL, good.URL}},
+		{"all-bad", []string{erroring.URL, dead.URL}},
+	} {
+		ex := &ShardExecutor{Workers: tc.workers, Shards: 4}
+		got, err := Run(context.Background(), ex, Campaign{Cells: cells, Cache: cache})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		requireSameResults(t, tc.name, got, want)
+		if n := ex.Fallbacks(); n == 0 {
+			t.Errorf("%s: no fallbacks despite a broken worker", tc.name)
+		}
+	}
+}
+
+// TestShardExecutorTimeout: a worker that hangs past RequestTimeout is
+// abandoned and its range recomputed locally.
+func TestShardExecutorTimeout(t *testing.T) {
+	cells := testCells(t)
+	cache := NewAnalysisCache(16)
+	want, err := Run(context.Background(), &PoolExecutor{}, Campaign{Cells: cells, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body) // unblock the server's close detection
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(func() { close(release); hung.Close() })
+	ex := &ShardExecutor{Workers: []string{hung.URL}, Shards: 2, RequestTimeout: 50 * time.Millisecond}
+	got, err := Run(context.Background(), ex, Campaign{Cells: cells, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "timeout", got, want)
+	if n := ex.Fallbacks(); n != 2 {
+		t.Errorf("expected both ranges to fall back, got %d", n)
+	}
+}
+
+// TestShardExecutorLocalPaths: campaigns with closure-backed cells (not
+// wire-codable) and executors without workers run entirely on the local
+// pool; the plain Execute path does too.
+func TestShardExecutorLocalPaths(t *testing.T) {
+	cells := testCells(t)
+	closure := Cell{
+		Spec:  cells[0].Spec,
+		Build: func() (*spg.Analysis, error) { return streamitBase(cells[0].Spec.Workload.StreamIt) },
+	}
+	mixed := append([]Cell{closure}, cells[1:]...)
+	want, err := Run(context.Background(), &PoolExecutor{}, Campaign{Cells: mixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dispatched atomic.Int64
+	refuse := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dispatched.Add(1)
+		http.Error(w, "should not be called", http.StatusTeapot)
+	}))
+	t.Cleanup(refuse.Close)
+
+	ex := &ShardExecutor{Workers: []string{refuse.URL}}
+	got, err := Run(context.Background(), ex, Campaign{Cells: mixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "closure-cells", got, want)
+	if dispatched.Load() != 0 {
+		t.Error("closure-backed campaign was dispatched remotely")
+	}
+
+	noWorkers := &ShardExecutor{}
+	got, err = Run(context.Background(), noWorkers, Campaign{Cells: mixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "no-workers", got, want)
+
+	var ran atomic.Int64
+	if err := noWorkers.Execute(context.Background(), 7, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 7 {
+		t.Errorf("plain Execute ran %d of 7", ran.Load())
+	}
+}
+
+// TestShardExecutorCancellation: cancelling the campaign context surfaces
+// context.Canceled and does not fall back the in-flight ranges.
+func TestShardExecutorCancellation(t *testing.T) {
+	cells := testCells(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	release := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body) // unblock the server's close detection
+		once.Do(cancel)                    // first range to arrive kills the campaign
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(func() { close(release); hung.Close() })
+	ex := &ShardExecutor{Workers: []string{hung.URL}, Shards: 2}
+	_, err := Run(ctx, ex, Campaign{Cells: cells})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled shard run returned %v", err)
+	}
+	if n := ex.Fallbacks(); n != 0 {
+		t.Errorf("cancellation triggered %d local fallbacks", n)
+	}
+}
+
+// TestShardRange: the partition is balanced, contiguous and exhaustive.
+func TestShardRange(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{{10, 3}, {4, 4}, {7, 2}, {1, 1}, {100, 16}} {
+		prevEnd := 0
+		for k := 0; k < tc.shards; k++ {
+			start, end := shardRange(tc.n, tc.shards, k)
+			if start != prevEnd {
+				t.Fatalf("n=%d shards=%d: range %d starts at %d, want %d", tc.n, tc.shards, k, start, prevEnd)
+			}
+			if size := end - start; size < tc.n/tc.shards || size > tc.n/tc.shards+1 {
+				t.Fatalf("n=%d shards=%d: range %d unbalanced (%d cells)", tc.n, tc.shards, k, size)
+			}
+			prevEnd = end
+		}
+		if prevEnd != tc.n {
+			t.Fatalf("n=%d shards=%d: ranges end at %d", tc.n, tc.shards, prevEnd)
+		}
+	}
+}
+
+// TestExecuteSpecsSanitizesCacheKeys: a wire spec claiming another family's
+// cache key must not poison the shared cache — the worker path re-derives
+// the key from the workload content, so the later honest FFT solve still
+// sees FFT, bit-identically to a cache-free run.
+func TestExecuteSpecsSanitizesCacheKeys(t *testing.T) {
+	cache := NewAnalysisCache(8)
+	poison := CellSpec{
+		Key:      "poison",
+		CacheKey: "streamit/FFT",                // claims FFT's family...
+		Workload: WorkloadSpec{StreamIt: "DCT"}, // ...but names DCT
+		ScaleCCR: true, CCR: 1,
+		P: 2, Q: 2,
+		Opts: core.Options{Seed: 1},
+	}
+	if _, err := ExecuteSpecs(context.Background(), nil, []CellSpec{poison}, cache); err != nil {
+		t.Fatal(err)
+	}
+	fft := CellSpec{
+		Key:      "fft",
+		CacheKey: "streamit/FFT",
+		Workload: WorkloadSpec{StreamIt: "FFT"},
+		ScaleCCR: true, CCR: 1,
+		P: 2, Q: 2,
+		Opts: core.Options{Seed: 2},
+	}.Cell()
+	got := Solve(fft, cache)
+	want := Solve(fft, nil)
+	requireSameResults(t, "post-poison-fft", []CellResult{got}, []CellResult{want})
+
+	// Equal workloads still share one derived key (sharing is preserved).
+	k1, err := (WorkloadSpec{StreamIt: "DCT"}).FamilyKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := (WorkloadSpec{StreamIt: "DCT"}).FamilyKey()
+	if err != nil || k1 != k2 {
+		t.Fatalf("family keys not stable: %q vs %q (%v)", k1, k2, err)
+	}
+	k3, err := (WorkloadSpec{Random: &RandomWorkload{N: 10, Elevation: 2, Seed: 5}}).FamilyKey()
+	if err != nil || k3 == k1 {
+		t.Fatalf("distinct workloads share key %q (%v)", k3, err)
+	}
+}

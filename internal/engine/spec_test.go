@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spgcmp/internal/core"
+	"spgcmp/internal/spg"
+)
+
+// TestCellSpecJSONRoundTrip: every workload variant must survive the wire
+// bit-exactly — the spec is the shard protocol's unit of work.
+func TestCellSpecJSONRoundTrip(t *testing.T) {
+	inline, err := spg.Chain([]float64{0.02, 0.03, 0.04}, []float64{0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []CellSpec{
+		{
+			Key:      "streamit/FFT/ccr=1/2x2",
+			CacheKey: "streamit/FFT",
+			Workload: WorkloadSpec{StreamIt: "FFT"},
+			ScaleCCR: true,
+			CCR:      1,
+			P:        2, Q: 2,
+			Opts: core.Options{Seed: 42, DPA1DMaxStates: 60_000},
+		},
+		{
+			Key:      "randspg/n=20/y=3/seed=7/2x2",
+			CacheKey: "randspg/n=20/y=3/seed=7",
+			Workload: WorkloadSpec{Random: &RandomWorkload{N: 20, Elevation: 3, Seed: 7, CCR: 0.1}},
+			P:        2, Q: 2,
+			MaxDivisions: 3,
+			Opts:         core.Options{Seed: 7, KeepMappings: true},
+		},
+		{
+			Key:      "inline/chain3",
+			Workload: WorkloadSpec{Inline: inline},
+			P:        1, Q: 2,
+			Opts: core.Options{Seed: 1},
+		},
+	}
+	for _, want := range specs {
+		data, err := json.Marshal(want)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", want.Key, err)
+		}
+		var got CellSpec
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: unmarshal: %v", want.Key, err)
+		}
+		if !reflect.DeepEqual(stripInline(got), stripInline(want)) {
+			t.Errorf("%s: round trip drifted:\n got %+v\nwant %+v", want.Key, got, want)
+		}
+		if want.Workload.Inline != nil {
+			// Graphs compare by content, not pointer.
+			gi, wi := got.Workload.Inline, want.Workload.Inline
+			if !reflect.DeepEqual(gi.Stages, wi.Stages) || !reflect.DeepEqual(gi.Edges, wi.Edges) {
+				t.Errorf("%s: inline graph drifted", want.Key)
+			}
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("%s: round-tripped spec invalid: %v", want.Key, err)
+		}
+	}
+}
+
+// stripInline clears the inline graph pointer so DeepEqual compares the rest
+// of the spec (graphs carry private lazily-built caches).
+func stripInline(s CellSpec) CellSpec {
+	s.Workload.Inline = nil
+	return s
+}
+
+// TestSpecMatchesClosure: a registry-resolved spec cell must solve
+// bit-identically to the legacy closure cell describing the same work.
+func TestSpecMatchesClosure(t *testing.T) {
+	for _, cell := range testCells(t) {
+		name := cell.Spec.Workload.StreamIt
+		legacy := Cell{Spec: cell.Spec, Build: func() (*spg.Analysis, error) { return streamitBase(name) }}
+		got := Solve(cell, nil)
+		want := Solve(legacy, nil)
+		requireSameResults(t, "spec-vs-closure/"+name, []CellResult{got}, []CellResult{want})
+	}
+}
+
+// streamitBase rebuilds a StreamIt family base the way the pre-spec closures
+// did, bypassing the registry.
+func streamitBase(name string) (*spg.Analysis, error) {
+	return buildStreamIt(json.RawMessage(`"` + name + `"`))
+}
+
+// TestSpecValidate: malformed specs are rejected without building anything.
+func TestSpecValidate(t *testing.T) {
+	ok := CellSpec{Key: "k", Workload: WorkloadSpec{StreamIt: "FFT"}, P: 2, Q: 2}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []CellSpec{
+		{Key: "no-workload", P: 2, Q: 2},
+		{Key: "two-variants", Workload: WorkloadSpec{StreamIt: "FFT", Random: &RandomWorkload{N: 5, Elevation: 1}}, P: 2, Q: 2},
+		{Key: "unknown-kind", Workload: WorkloadSpec{Kind: "no-such-kind"}, P: 2, Q: 2},
+		{Key: "bad-grid", Workload: WorkloadSpec{StreamIt: "FFT"}, P: 0, Q: 2},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", s.Key)
+		}
+	}
+	if _, err := (WorkloadSpec{StreamIt: "NoSuchApp"}).Build(); err == nil {
+		t.Error("unknown StreamIt app built")
+	}
+}
+
+// TestRegisterWorkload: custom kinds resolve through the registry and make
+// their cells wire-codable; re-registration panics.
+func TestRegisterWorkload(t *testing.T) {
+	RegisterWorkload("test-chain", func(params json.RawMessage) (*spg.Analysis, error) {
+		var n int
+		if err := json.Unmarshal(params, &n); err != nil {
+			return nil, err
+		}
+		w := make([]float64, n)
+		v := make([]float64, n-1)
+		rng := rand.New(rand.NewSource(99))
+		for i := range w {
+			w[i] = 0.01 + 0.09*rng.Float64()
+		}
+		for i := range v {
+			v[i] = 0.5 + rng.Float64()
+		}
+		g, err := spg.Chain(w, v)
+		if err != nil {
+			return nil, err
+		}
+		return spg.NewAnalysis(g), nil
+	})
+	cell := CellSpec{
+		Key:      "custom/chain4",
+		Workload: WorkloadSpec{Kind: "test-chain", Params: json.RawMessage(`4`)},
+		P:        2, Q: 2,
+		Opts: core.Options{Seed: 3},
+	}.Cell()
+	if !cell.WireCodable() {
+		t.Fatal("custom-kind cell not wire-codable")
+	}
+	res := Solve(cell, nil)
+	if res.Err != nil || !res.Feasible {
+		t.Fatalf("custom-kind cell failed: %+v", res)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterWorkload did not panic")
+		}
+	}()
+	RegisterWorkload("test-chain", func(json.RawMessage) (*spg.Analysis, error) { return nil, nil })
+}
+
+// TestSpecMaxDivisions: the period-division cap is part of the declarative
+// identity — on a workload light enough that divisions keep succeeding, a
+// capped spec must stop exactly where its cap says, above where the default
+// protocol descends to.
+func TestSpecMaxDivisions(t *testing.T) {
+	tiny, err := spg.Chain([]float64{1e-6, 1e-6}, []float64{1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := CellSpec{
+		Key:      "inline/tiny",
+		Workload: WorkloadSpec{Inline: tiny},
+		P:        2, Q: 2,
+		Opts: core.Options{Seed: 1},
+	}
+	full := Solve(base.Cell(), nil)
+	capped := base
+	capped.MaxDivisions = 1
+	one := Solve(capped.Cell(), nil)
+	if full.Err != nil || one.Err != nil || !full.Feasible || !one.Feasible {
+		t.Fatalf("solves failed: %+v / %+v", full, one)
+	}
+	if one.Result.Period != 0.1 {
+		t.Errorf("one-division protocol stopped at period %g, want 0.1", one.Result.Period)
+	}
+	if full.Result.Period >= one.Result.Period {
+		t.Errorf("default protocol stopped at %g, expected below the capped %g", full.Result.Period, one.Result.Period)
+	}
+}
+
+// TestWireCellResultRoundTrip: results survive the wire bit-exactly,
+// including the error-as-message lowering.
+func TestWireCellResultRoundTrip(t *testing.T) {
+	cells := testCells(t)
+	want := Solve(cells[0], nil)
+	data, err := json.Marshal(want.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w WireCellResult
+	if err := json.Unmarshal(data, &w); err != nil {
+		t.Fatal(err)
+	}
+	got := w.CellResult(want.Index)
+	requireSameResults(t, "wire-round-trip", []CellResult{got}, []CellResult{want})
+
+	bad := Cell{Spec: CellSpec{Key: "bad", P: 2, Q: 2}, Build: func() (*spg.Analysis, error) {
+		return nil, errTest
+	}}
+	res := Solve(bad, nil)
+	wireBad := res.Wire()
+	data, err = json.Marshal(wireBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wb WireCellResult
+	if err := json.Unmarshal(data, &wb); err != nil {
+		t.Fatal(err)
+	}
+	back := wb.CellResult(0)
+	if back.Err == nil || back.Err.Error() != "test build failure" {
+		t.Errorf("error crossed the wire as %v", back.Err)
+	}
+}
+
+var errTest = errInline("test build failure")
+
+type errInline string
+
+func (e errInline) Error() string { return string(e) }
+
+// TestKeepMappingsWire: with KeepMappings the outcomes carry placements that
+// survive the wire and rebuild into valid mappings; without it the outcome
+// JSON stays lean.
+func TestKeepMappingsWire(t *testing.T) {
+	spec := testCells(t)[0].Spec
+	spec.Opts.KeepMappings = true
+	res := Solve(spec.Cell(), nil)
+	if res.Err != nil || !res.Feasible {
+		t.Fatalf("solve failed: %+v", res)
+	}
+	data, err := json.Marshal(res.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w WireCellResult
+	if err := json.Unmarshal(data, &w); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range w.Result.Outcomes {
+		if !o.OK {
+			continue
+		}
+		if o.Mapping == nil {
+			t.Fatalf("%s: OK outcome without mapping", o.Heuristic)
+		}
+		if o.Mapping.P != spec.P || o.Mapping.Q != spec.Q {
+			t.Errorf("%s: mapping targets %dx%d, want %dx%d", o.Heuristic, o.Mapping.P, o.Mapping.Q, spec.P, spec.Q)
+		}
+		if len(o.Mapping.Alloc) == 0 || len(o.Mapping.Cores) == 0 {
+			t.Errorf("%s: empty wire mapping", o.Heuristic)
+		}
+	}
+	plain := Solve(testCells(t)[0], nil)
+	for _, o := range plain.Result.Outcomes {
+		if o.Mapping != nil {
+			t.Errorf("%s: mapping retained without KeepMappings", o.Heuristic)
+		}
+	}
+}

@@ -36,13 +36,28 @@ var defaultCache = NewAnalysisCache(512)
 func DefaultAnalysisCache() *AnalysisCache { return defaultCache }
 
 // streamItKey identifies a StreamIt workload's base (pre-CCR-scaling)
-// analysis; the CCR variants hang off it as scale-family members.
+// analysis; the CCR variants hang off it as scale-family members. It
+// delegates to the engine's canonical FamilyKey so campaign cells and wire
+// ranges for the same application resolve one shared cache entry.
 func streamItKey(a streamit.App) string {
-	return fmt.Sprintf("streamit/%s/n=%d/y=%d/x=%d", a.Name, a.N, a.YMax, a.XMax)
+	key, err := (engine.WorkloadSpec{StreamIt: a.Name}).FamilyKey()
+	if err != nil {
+		// Unreachable for suite applications; fall back to a literal key so
+		// a bad app still fails at Build with a real error, not here.
+		return "streamit/" + a.Name
+	}
+	return key
 }
 
 // randomKey identifies one generated random SPG. Every generation parameter
-// participates: the same key always regenerates the identical graph.
+// participates: the same key always regenerates the identical graph. Like
+// streamItKey, it is the engine's canonical FamilyKey.
 func randomKey(n, elevation int, seed int64, ccr float64) string {
-	return fmt.Sprintf("randspg/n=%d/y=%d/seed=%d/ccr=%x", n, elevation, seed, ccr)
+	key, err := (engine.WorkloadSpec{Random: &engine.RandomWorkload{
+		N: n, Elevation: elevation, Seed: seed, CCR: ccr,
+	}}).FamilyKey()
+	if err != nil {
+		return fmt.Sprintf("randspg/n=%d/y=%d/seed=%d/ccr=%x", n, elevation, seed, ccr)
+	}
+	return key
 }

@@ -5,8 +5,6 @@ import (
 	"fmt"
 
 	"spgcmp/internal/engine"
-	"spgcmp/internal/randspg"
-	"spgcmp/internal/spg"
 )
 
 // RandomConfig parameterizes a random-SPG campaign (one panel of
@@ -68,27 +66,23 @@ type RandomResult struct {
 // key always regenerates the identical graph), and the generation seed also
 // drives the cell's Random heuristic, exactly as in the legacy loop. The
 // CCR is baked into generation, so the cell solves its base analysis as-is.
+// The cell is purely declarative (a wire-codable CellSpec), so a shard run
+// can ship it to any worker.
 func NewRandomCell(n, elevation int, seed int64, ccr float64, p, q int) engine.Cell {
 	key := randomKey(n, elevation, seed, ccr)
-	return engine.Cell{
+	return engine.CellSpec{
 		Key:      fmt.Sprintf("%s/%dx%d", key, p, q),
 		CacheKey: key,
-		Build: func() (*spg.Analysis, error) {
-			g, err := randspg.Generate(randspg.Params{
-				N:         n,
-				Elevation: elevation,
-				Seed:      seed,
-				CCR:       ccr,
-			})
-			if err != nil {
-				return nil, err
-			}
-			return spg.NewAnalysis(g), nil
-		},
+		Workload: engine.WorkloadSpec{Random: &engine.RandomWorkload{
+			N:         n,
+			Elevation: elevation,
+			Seed:      seed,
+			CCR:       ccr,
+		}},
 		P:    p,
 		Q:    q,
 		Opts: campaignOptions(seed),
-	}
+	}.Cell()
 }
 
 // randomCellSeed is the legacy per-task seed schedule: distinct multipliers

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"spgcmp/internal/engine"
+	"spgcmp/internal/streamit"
+)
+
+// shardWorker is an in-process stand-in for a remote spgserve worker: it
+// answers the shard protocol by solving received spec ranges on a local pool
+// against the given campaign cache — exactly what the service's
+// /v1/cells/execute handler does.
+func shardWorker(t *testing.T, cache *engine.AnalysisCache) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req engine.ExecuteCellsRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		results, err := engine.ExecuteSpecs(r.Context(), nil, req.Cells, cache)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(engine.ExecuteCellsResponse{Results: results})
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestShardEquivalenceStreamIt is the PR's acceptance bar: the ShardExecutor
+// must reduce every StreamIt cell — all applications, all four CCR variants,
+// every heuristic at the selected period — bit-identically to the
+// PoolExecutor at 1, 2 and 4 shards, with and without an injected worker
+// failure forcing the local-fallback path. Cells cross a real HTTP/JSON
+// boundary (httptest workers speaking the spec protocol), so the test also
+// proves CellSpec/CellOutcome wire coding lossless end to end.
+func TestShardEquivalenceStreamIt(t *testing.T) {
+	apps := streamit.Suite()
+	if testing.Short() {
+		apps = apps[:4]
+	}
+	const seed = 17
+	cells := StreamItCells(2, 2, apps, seed)
+	cache := NewAnalysisCache(32)
+	want, err := engine.Run(context.Background(), &engine.PoolExecutor{},
+		engine.Campaign{Cells: cells, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTable, err := ReduceStreamIt(2, 2, apps, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w1 := shardWorker(t, cache)
+	w2 := shardWorker(t, cache)
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "injected worker failure", http.StatusInternalServerError)
+	}))
+	t.Cleanup(broken.Close)
+
+	for _, tc := range []struct {
+		name    string
+		workers []string
+		shards  int
+		wantFB  bool
+	}{
+		{"1shard", []string{w1.URL}, 1, false},
+		{"2shards", []string{w1.URL, w2.URL}, 2, false},
+		{"4shards", []string{w1.URL, w2.URL}, 4, false},
+		{"4shards+failure", []string{w1.URL, broken.URL}, 4, true},
+		{"allbroken", []string{broken.URL}, 2, true},
+	} {
+		ex := &engine.ShardExecutor{Workers: tc.workers, Shards: tc.shards}
+		results, err := engine.Run(context.Background(), ex, engine.Campaign{Cells: cells, Cache: cache})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got, err := ReduceStreamIt(2, 2, apps, results)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		requireSameCampaign(t, "shard/"+tc.name, got, wantTable)
+		if fb := ex.Fallbacks() > 0; fb != tc.wantFB {
+			t.Errorf("%s: fallbacks=%d, want fallback=%v", tc.name, ex.Fallbacks(), tc.wantFB)
+		}
+	}
+}
+
+// TestShardEquivalenceRandom: the same property over a random-SPG panel,
+// where cells are uniquely keyed (no family sharing) and the reducer owns
+// the aggregation arithmetic.
+func TestShardEquivalenceRandom(t *testing.T) {
+	cfg := RandomConfig{
+		N: 25, P: 2, Q: 2, CCR: 1,
+		MinElevation: 1, MaxElevation: 3, GraphsPerElev: 3, Seed: 29,
+	}
+	cells, err := RandomCells(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewAnalysisCache(16)
+	results, err := engine.Run(context.Background(), &engine.PoolExecutor{},
+		engine.Campaign{Cells: cells, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReduceRandom(cfg, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker := shardWorker(t, cache)
+	ex := &engine.ShardExecutor{Workers: []string{worker.URL}, Shards: 3}
+	results, err = engine.Run(context.Background(), ex, engine.Campaign{Cells: cells, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReduceRandom(cfg, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range got.Points {
+		wpt := want.Points[i]
+		for _, name := range HeuristicNames {
+			if pt.MeanInvNorm[name] != wpt.MeanInvNorm[name] || pt.Failures[name] != wpt.Failures[name] {
+				t.Errorf("elevation %d, %s: shard (%v, %d) vs pool (%v, %d)",
+					pt.Elevation, name, pt.MeanInvNorm[name], pt.Failures[name],
+					wpt.MeanInvNorm[name], wpt.Failures[name])
+			}
+		}
+	}
+}
+
+// TestShardBuildErrorPropagation: a deterministic workload build failure is
+// a result, not a worker failure — it must cross the wire as the cell's
+// error (message preserved) without tripping the fallback path.
+func TestShardBuildErrorPropagation(t *testing.T) {
+	// Elevation 30 on 8 stages is unsatisfiable: generation fails.
+	bad := NewRandomCell(8, 30, 3, 1, 2, 2)
+	good := NewRandomCell(8, 2, 3, 1, 2, 2)
+	cells := []engine.Cell{bad, good}
+	cache := NewAnalysisCache(4)
+	want, err := engine.Run(context.Background(), nil, engine.Campaign{Cells: cells, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want[0].Err == nil {
+		t.Fatal("expected a build failure for the unsatisfiable cell")
+	}
+	var served atomic.Int64
+	worker := shardWorker(t, cache)
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		worker.Config.Handler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(counting.Close)
+	ex := &engine.ShardExecutor{Workers: []string{counting.URL}, Shards: 1}
+	got, err := engine.Run(context.Background(), ex, engine.Campaign{Cells: cells, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Load() == 0 {
+		t.Fatal("range was not served remotely")
+	}
+	if ex.Fallbacks() != 0 {
+		t.Errorf("build failure triggered %d fallbacks", ex.Fallbacks())
+	}
+	if got[0].Err == nil || got[0].Err.Error() != want[0].Err.Error() {
+		t.Errorf("build error crossed the wire as %v, want %v", got[0].Err, want[0].Err)
+	}
+	if fmt.Sprint(got[1].Result) != fmt.Sprint(want[1].Result) {
+		t.Errorf("sibling cell drifted across the wire")
+	}
+}
+
+// TestCellCacheKeysAreCanonical: the enumerators' cache keys are exactly
+// the engine's FamilyKey, so the worker-side key sanitization of
+// ExecuteSpecs is a no-op for honest coordinators — a process serving both
+// campaign traffic and shard ranges warms one cache entry per family, and
+// the legacy key formats are preserved.
+func TestCellCacheKeysAreCanonical(t *testing.T) {
+	a, err := streamit.ByName("FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := NewStreamItCell(a, 1, 2, 2, 1)
+	key, err := cell.Spec.Workload.FamilyKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Spec.CacheKey != key {
+		t.Errorf("streamit cache key %q != family key %q", cell.Spec.CacheKey, key)
+	}
+	if want := "streamit/FFT/n=17/y=1/x=17"; key != want {
+		t.Errorf("streamit family key %q, want legacy format %q", key, want)
+	}
+	rcell := NewRandomCell(20, 3, 5, 0.1, 2, 2)
+	rkey, err := rcell.Spec.Workload.FamilyKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcell.Spec.CacheKey != rkey {
+		t.Errorf("random cache key %q != family key %q", rcell.Spec.CacheKey, rkey)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"math"
 
 	"spgcmp/internal/engine"
-	"spgcmp/internal/spg"
 	"spgcmp/internal/streamit"
 )
 
@@ -45,25 +44,20 @@ type StreamItResult struct {
 // a p x q grid: the application's base analysis is keyed in the campaign
 // cache and the CCR variant derived as a scale-family member, so every cell
 // of the application resolves one shared base. seed drives the cell's Random
-// heuristic.
+// heuristic. The cell is purely declarative (a wire-codable CellSpec), so a
+// shard run can ship it to any worker.
 func NewStreamItCell(a streamit.App, ccr float64, p, q int, seed int64) engine.Cell {
 	key := streamItKey(a)
-	return engine.Cell{
+	return engine.CellSpec{
 		Key:      fmt.Sprintf("%s/ccr=%s/%dx%d", key, ccrLabel(ccr, ccr == a.CCR), p, q),
 		CacheKey: key,
-		Build: func() (*spg.Analysis, error) {
-			g, err := a.BaseGraph()
-			if err != nil {
-				return nil, err
-			}
-			return spg.NewAnalysis(g), nil
-		},
+		Workload: engine.WorkloadSpec{StreamIt: a.Name},
 		ScaleCCR: true,
 		CCR:      ccr,
 		P:        p,
 		Q:        q,
 		Opts:     campaignOptions(seed),
-	}
+	}.Cell()
 }
 
 // streamItVariants lists the four CCR points of one application in the

@@ -4,97 +4,120 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"spgcmp/internal/platform"
 )
 
-// jsonMapping is the on-disk representation of a Mapping, independent of the
-// platform object (grid dimensions are embedded for validation on load).
-type jsonMapping struct {
+// WireMapping is the platform-independent wire form of a Mapping: the grid
+// dimensions are embedded so the value is self-describing (and validated on
+// rebuild), which lets mappings travel inside other wire payloads — a
+// CellOutcome crossing the shard protocol, a /v1/map response — without a
+// platform object at hand. It is also the on-disk JSON representation
+// written by WriteJSON and read by ReadJSON.
+type WireMapping struct {
 	P     int        `json:"p"`
 	Q     int        `json:"q"`
 	Alloc [][2]int   `json:"alloc"` // stage -> [u, v]
-	Cores []jsonCore `json:"cores"`
-	Paths []jsonPath `json:"paths,omitempty"`
+	Cores []WireCore `json:"cores"`
+	Paths []WirePath `json:"paths,omitempty"`
 }
 
-type jsonCore struct {
+// WireCore is one powered core and its DVFS speed index.
+type WireCore struct {
 	U        int `json:"u"`
 	V        int `json:"v"`
 	SpeedIdx int `json:"speed_idx"`
 }
 
-type jsonPath struct {
+// WirePath is one explicitly-routed edge.
+type WirePath struct {
 	Edge int      `json:"edge"`
 	Hops [][4]int `json:"hops"` // [fromU, fromV, toU, toV]
 }
 
-// WriteJSON serializes the mapping.
-func (m *Mapping) WriteJSON(w io.Writer, pl *platform.Platform) error {
-	jm := jsonMapping{P: pl.P, Q: pl.Q, Alloc: make([][2]int, len(m.Alloc))}
+// Wire converts the mapping for transport or disk. The output is canonical —
+// cores in row-major order, pinned paths sorted by edge index — so equal
+// mappings always serialize to identical bytes regardless of map iteration
+// order.
+func (m *Mapping) Wire(pl *platform.Platform) *WireMapping {
+	w := &WireMapping{P: pl.P, Q: pl.Q, Alloc: make([][2]int, len(m.Alloc))}
 	for i, c := range m.Alloc {
-		jm.Alloc[i] = [2]int{c.U, c.V}
+		w.Alloc[i] = [2]int{c.U, c.V}
 	}
 	for u := 0; u < pl.P; u++ {
 		for v := 0; v < pl.Q; v++ {
 			if idx := m.SpeedIdx[u*pl.Q+v]; idx >= 0 {
-				jm.Cores = append(jm.Cores, jsonCore{U: u, V: v, SpeedIdx: idx})
+				w.Cores = append(w.Cores, WireCore{U: u, V: v, SpeedIdx: idx})
 			}
 		}
 	}
 	for e, path := range m.Paths {
-		jp := jsonPath{Edge: e}
+		wp := WirePath{Edge: e}
 		for _, l := range path {
-			jp.Hops = append(jp.Hops, [4]int{l.From.U, l.From.V, l.To.U, l.To.V})
+			wp.Hops = append(wp.Hops, [4]int{l.From.U, l.From.V, l.To.U, l.To.V})
 		}
-		jm.Paths = append(jm.Paths, jp)
+		w.Paths = append(w.Paths, wp)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(jm)
+	sort.Slice(w.Paths, func(i, j int) bool { return w.Paths[i].Edge < w.Paths[j].Edge })
+	return w
 }
 
-// ReadJSON parses a mapping written by WriteJSON and validates it against
-// the platform dimensions.
-func ReadJSON(r io.Reader, pl *platform.Platform) (*Mapping, error) {
-	var jm jsonMapping
-	if err := json.NewDecoder(r).Decode(&jm); err != nil {
-		return nil, err
+// Mapping rebuilds the executable mapping, validating every coordinate and
+// speed index against the platform (which must match the embedded grid
+// dimensions).
+func (w *WireMapping) Mapping(pl *platform.Platform) (*Mapping, error) {
+	if w.P != pl.P || w.Q != pl.Q {
+		return nil, fmt.Errorf("mapping: wire form targets a %dx%d grid, platform is %dx%d",
+			w.P, w.Q, pl.P, pl.Q)
 	}
-	if jm.P != pl.P || jm.Q != pl.Q {
-		return nil, fmt.Errorf("mapping: file targets a %dx%d grid, platform is %dx%d",
-			jm.P, jm.Q, pl.P, pl.Q)
-	}
-	m := New(len(jm.Alloc), pl)
-	for i, uv := range jm.Alloc {
+	m := New(len(w.Alloc), pl)
+	for i, uv := range w.Alloc {
 		c := platform.Core{U: uv[0], V: uv[1]}
 		if !pl.InBounds(c) {
 			return nil, fmt.Errorf("mapping: stage %d outside the grid: %v", i, c)
 		}
 		m.Alloc[i] = c
 	}
-	for _, jc := range jm.Cores {
-		c := platform.Core{U: jc.U, V: jc.V}
+	for _, wc := range w.Cores {
+		c := platform.Core{U: wc.U, V: wc.V}
 		if !pl.InBounds(c) {
 			return nil, fmt.Errorf("mapping: speed entry outside the grid: %v", c)
 		}
-		if jc.SpeedIdx < 0 || jc.SpeedIdx >= len(pl.Speeds) {
-			return nil, fmt.Errorf("mapping: core %v has invalid speed index %d", c, jc.SpeedIdx)
+		if wc.SpeedIdx < 0 || wc.SpeedIdx >= len(pl.Speeds) {
+			return nil, fmt.Errorf("mapping: core %v has invalid speed index %d", c, wc.SpeedIdx)
 		}
-		m.SetSpeed(pl, c, jc.SpeedIdx)
+		m.SetSpeed(pl, c, wc.SpeedIdx)
 	}
-	if len(jm.Paths) > 0 {
-		m.Paths = make(map[int][]platform.Link, len(jm.Paths))
-		for _, jp := range jm.Paths {
+	if len(w.Paths) > 0 {
+		m.Paths = make(map[int][]platform.Link, len(w.Paths))
+		for _, wp := range w.Paths {
 			var path []platform.Link
-			for _, h := range jp.Hops {
+			for _, h := range wp.Hops {
 				path = append(path, platform.Link{
 					From: platform.Core{U: h[0], V: h[1]},
 					To:   platform.Core{U: h[2], V: h[3]},
 				})
 			}
-			m.Paths[jp.Edge] = path
+			m.Paths[wp.Edge] = path
 		}
 	}
 	return m, nil
+}
+
+// WriteJSON serializes the mapping.
+func (m *Mapping) WriteJSON(w io.Writer, pl *platform.Platform) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Wire(pl))
+}
+
+// ReadJSON parses a mapping written by WriteJSON and validates it against
+// the platform dimensions.
+func ReadJSON(r io.Reader, pl *platform.Platform) (*Mapping, error) {
+	var w WireMapping
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, err
+	}
+	return w.Mapping(pl)
 }

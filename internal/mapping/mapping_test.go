@@ -330,3 +330,56 @@ func TestRenderGridAndSummary(t *testing.T) {
 		t.Errorf("summary: %s", sum)
 	}
 }
+
+func TestWireMappingCanonical(t *testing.T) {
+	pl := platform.XScale(2, 2)
+	m := New(4, pl)
+	cores := []platform.Core{{U: 0, V: 0}, {U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 1}}
+	for i, c := range cores {
+		m.Alloc[i] = c
+		m.SetSpeed(pl, c, 1)
+	}
+	// Several pinned paths: the wire form must order them by edge index no
+	// matter how map iteration shuffles them, so equal mappings always
+	// serialize to identical bytes.
+	m.Paths = map[int][]platform.Link{
+		2: {{From: cores[2], To: cores[3]}},
+		0: {{From: cores[0], To: cores[1]}},
+		1: {{From: cores[1], To: cores[3]}},
+	}
+	var first string
+	for trial := 0; trial < 8; trial++ {
+		var buf strings.Builder
+		if err := m.WriteJSON(&buf, pl); err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			first = buf.String()
+			w := m.Wire(pl)
+			for i := 1; i < len(w.Paths); i++ {
+				if w.Paths[i-1].Edge >= w.Paths[i].Edge {
+					t.Fatalf("wire paths unsorted: %+v", w.Paths)
+				}
+			}
+			continue
+		}
+		if buf.String() != first {
+			t.Fatal("wire form not canonical across serializations")
+		}
+	}
+	// Wire -> Mapping rebuild is lossless.
+	m2, err := m.Wire(pl).Mapping(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Alloc {
+		if m.Alloc[i] != m2.Alloc[i] {
+			t.Fatalf("alloc %d differs", i)
+		}
+	}
+	for e, p := range m.Paths {
+		if len(m2.Paths[e]) != len(p) || m2.Paths[e][0] != p[0] {
+			t.Fatalf("path %d differs", e)
+		}
+	}
+}

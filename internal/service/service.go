@@ -5,24 +5,37 @@
 // workload family once answers every later request on it from warm
 // structures.
 //
+// Every spgserve process exposes the same surface, so any instance can play
+// either cluster role: a worker answers /v1/cells/execute (spec ranges in,
+// wire results out, solved on the local pool against the shared cache), and
+// a coordinator shards /v1/campaign submissions across a worker list through
+// the engine's ShardExecutor — falling back to local execution when workers
+// fail, with bit-identical results either way.
+//
 // Endpoints (see cmd/spgserve/README.md for curl examples):
 //
-//	GET  /v1/healthz          liveness plus campaign-cache statistics
-//	POST /v1/map              map one workload (the period-selection protocol)
-//	POST /v1/campaign         submit a campaign; answers 202 with an id
-//	GET  /v1/campaign/{id}    poll status, progress and (when done) result
+//	GET    /v1/healthz          liveness plus campaign-cache statistics
+//	POST   /v1/map              map one workload (the period-selection protocol)
+//	POST   /v1/campaign         submit a campaign; answers 202 with an id
+//	GET    /v1/campaign/{id}    poll status, progress and (when done) result
+//	DELETE /v1/campaign/{id}    cancel a running campaign / drop a finished one
+//	POST   /v1/cells/execute    worker endpoint: solve a range of cell specs
 package service
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spgcmp/internal/engine"
 	"spgcmp/internal/experiments"
+	"spgcmp/internal/mapping"
 	"spgcmp/internal/streamit"
 )
 
@@ -44,15 +57,37 @@ type Config struct {
 	// (default 4); submissions beyond it answer 429 so a submission loop
 	// cannot oversubscribe the executor or pile up result state.
 	MaxActiveCampaigns int
+	// MaxActiveRanges bounds concurrently executing /v1/cells/execute
+	// ranges (default 4); requests beyond it answer 429, which the sending
+	// coordinator treats as a worker failure and absorbs via its fallback
+	// pool — the worker-side counterpart of MaxActiveCampaigns, so a
+	// coordinator with an absurd shard count cannot oversubscribe a worker.
+	MaxActiveRanges int
+	// JobTTL bounds how long finished campaign jobs stay pollable (default
+	// 1 h; negative disables the time bound). Expired jobs are pruned on
+	// the next campaign request.
+	JobTTL time.Duration
+	// MaxFinishedJobs bounds retained finished jobs, oldest-finished evicted
+	// first (default 64; negative disables the count bound).
+	MaxFinishedJobs int
+	// Now is the clock consulted by job retention; nil selects time.Now.
+	// Tests inject a fake to exercise TTL expiry without sleeping.
+	Now func() time.Time
 }
 
 // Server implements the mapping service over a shared engine and cache.
 type Server struct {
-	cache     *engine.AnalysisCache
-	exec      engine.Executor
-	maxGrid   int
-	maxCells  int
-	maxActive int
+	cache       *engine.AnalysisCache
+	exec        engine.Executor
+	local       engine.Executor     // worker-endpoint executor, always in-process
+	pool        engine.PoolExecutor // pool config for per-request shard fallbacks
+	rangeSem    chan struct{}       // bounds concurrent /v1/cells/execute ranges
+	maxGrid     int
+	maxCells    int
+	maxActive   int
+	jobTTL      time.Duration
+	maxFinished int
+	now         func() time.Time
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -62,13 +97,19 @@ type Server struct {
 
 // job tracks one asynchronous campaign from submission to completion.
 type job struct {
-	id    string
-	kind  string
-	total int
-	done  atomic.Int64
+	id     string
+	kind   string
+	total  int
+	done   atomic.Int64
+	cancel context.CancelFunc
+	shard  *engine.ShardExecutor // non-nil when the job runs sharded
+
+	// finishedAt is set (under Server.mu) when the campaign stops running;
+	// retention reads it under the same lock.
+	finishedAt time.Time
 
 	mu     sync.Mutex
-	status string // "running", "done", "failed"
+	status string // "running", "done", "failed", "cancelled"
 	result any
 	errMsg string
 }
@@ -90,13 +131,48 @@ func New(cfg Config) *Server {
 	if cfg.MaxActiveCampaigns <= 0 {
 		cfg.MaxActiveCampaigns = 4
 	}
+	if cfg.MaxActiveRanges <= 0 {
+		cfg.MaxActiveRanges = 4
+	}
+	if cfg.JobTTL == 0 {
+		cfg.JobTTL = time.Hour
+	}
+	if cfg.MaxFinishedJobs == 0 {
+		cfg.MaxFinishedJobs = 64
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	// The worker endpoint always solves on an in-process pool: handing it a
+	// sharding executor would bounce a received range straight back onto the
+	// cluster (at worst, onto this very process). The pool keeps the
+	// operator's worker-count configuration — a coordinator's comes from its
+	// ShardExecutor's LocalFallback — so no path silently escalates to
+	// GOMAXPROCS.
+	var pool engine.PoolExecutor
+	local := cfg.Executor
+	switch ex := cfg.Executor.(type) {
+	case *engine.PoolExecutor:
+		pool = *ex
+	case *engine.ShardExecutor:
+		pool = ex.LocalFallback
+		local = &pool
+	case engine.CampaignExecutor:
+		local = &pool
+	}
 	return &Server{
-		cache:     cfg.Cache,
-		exec:      cfg.Executor,
-		maxGrid:   cfg.MaxGrid,
-		maxCells:  cfg.MaxCampaignCells,
-		maxActive: cfg.MaxActiveCampaigns,
-		jobs:      make(map[string]*job),
+		cache:       cfg.Cache,
+		exec:        cfg.Executor,
+		local:       local,
+		pool:        pool,
+		rangeSem:    make(chan struct{}, cfg.MaxActiveRanges),
+		maxGrid:     cfg.MaxGrid,
+		maxCells:    cfg.MaxCampaignCells,
+		maxActive:   cfg.MaxActiveCampaigns,
+		jobTTL:      cfg.JobTTL,
+		maxFinished: cfg.MaxFinishedJobs,
+		now:         cfg.Now,
+		jobs:        make(map[string]*job),
 	}
 }
 
@@ -107,6 +183,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/map", s.handleMap)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaignSubmit)
 	mux.HandleFunc("GET /v1/campaign/{id}", s.handleCampaignStatus)
+	mux.HandleFunc("DELETE /v1/campaign/{id}", s.handleCampaignDelete)
+	mux.HandleFunc("POST /v1/cells/execute", s.handleCellsExecute)
 	return mux
 }
 
@@ -121,18 +199,20 @@ type healthzResponse struct {
 	Cache  engine.CacheStats `json:"cache"`
 }
 
-// WorkloadSpec names one workload: exactly one of StreamIt (a Table 1
-// application name, optionally rescaled to CCR; 0 keeps the original) or
-// Random (a seeded random SPG).
-type WorkloadSpec struct {
-	StreamIt string          `json:"streamit,omitempty"`
-	CCR      float64         `json:"ccr,omitempty"`
-	Random   *RandomWorkload `json:"random,omitempty"`
+// workloadRef names one workload in a /v1/map request: exactly one of
+// StreamIt (a Table 1 application name, optionally rescaled to CCR; 0 keeps
+// the original) or Random (a seeded random SPG). It is the request shape
+// only — resolution lowers it onto an engine.Cell (whose engine.WorkloadSpec
+// is the declarative wire identity used across the cluster).
+type workloadRef struct {
+	StreamIt string     `json:"streamit,omitempty"`
+	CCR      float64    `json:"ccr,omitempty"`
+	Random   *randomRef `json:"random,omitempty"`
 }
 
-// RandomWorkload identifies one generated random SPG; the same values always
+// randomRef identifies one generated random SPG; the same values always
 // regenerate the identical graph.
-type RandomWorkload struct {
+type randomRef struct {
 	N         int     `json:"n"`
 	Elevation int     `json:"elevation"`
 	Seed      int64   `json:"seed"`
@@ -140,10 +220,10 @@ type RandomWorkload struct {
 }
 
 type mapRequest struct {
-	Workload WorkloadSpec `json:"workload"`
-	P        int          `json:"p"`
-	Q        int          `json:"q"`
-	Seed     int64        `json:"seed"`
+	Workload workloadRef `json:"workload"`
+	P        int         `json:"p"`
+	Q        int         `json:"q"`
+	Seed     int64       `json:"seed"`
 }
 
 type mapResponse struct {
@@ -151,11 +231,20 @@ type mapResponse struct {
 	Feasible bool                       `json:"feasible"`
 	Result   experiments.InstanceResult `json:"result"`
 	Best     string                     `json:"best,omitempty"`
+	// Mapping is the winning heuristic's placement (the wire form of
+	// mapping.Mapping): stage allocation, per-core DVFS speeds and any
+	// pinned routes — the actionable half of the answer.
+	Mapping *mapping.WireMapping `json:"mapping,omitempty"`
 }
 
 type campaignRequest struct {
 	StreamIt *streamItCampaignRequest `json:"streamit,omitempty"`
 	Random   *randomCampaignRequest   `json:"random,omitempty"`
+	// Workers optionally shards the campaign across remote spgserve worker
+	// processes (base URLs); empty runs on this process's executor. Shards
+	// is the number of cell ranges to partition into (0 = one per worker).
+	Workers []string `json:"workers,omitempty"`
+	Shards  int      `json:"shards,omitempty"`
 }
 
 type streamItCampaignRequest struct {
@@ -188,8 +277,11 @@ type campaignStatusResponse struct {
 	Status string `json:"status"`
 	Done   int64  `json:"done"`
 	Total  int    `json:"total"`
-	Result any    `json:"result,omitempty"`
-	Error  string `json:"error,omitempty"`
+	// Fallbacks counts shard ranges re-executed locally after a worker
+	// failure (sharded jobs only; bit-identical results either way).
+	Fallbacks int64  `json:"fallbacks,omitempty"`
+	Result    any    `json:"result,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // --- handlers ---
@@ -218,7 +310,7 @@ func (s *Server) checkGrid(p, q int) error {
 }
 
 // cellFor resolves a workload spec to its engine cell.
-func (s *Server) cellFor(spec WorkloadSpec, p, q int, seed int64) (engine.Cell, error) {
+func (s *Server) cellFor(spec workloadRef, p, q int, seed int64) (engine.Cell, error) {
 	switch {
 	case spec.StreamIt != "" && spec.Random != nil:
 		return engine.Cell{}, fmt.Errorf("workload names both streamit and random")
@@ -275,6 +367,9 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
+	// Keep placements so the answer is actionable: the response carries the
+	// winning mapping, not just its energy.
+	cell.Spec.Opts.KeepMappings = true
 	res := engine.Solve(cell, s.cache)
 	if res.Err != nil {
 		writeError(w, http.StatusInternalServerError, "workload build failed: %v", res.Err)
@@ -289,10 +384,62 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	for _, o := range res.Result.Outcomes {
 		if o.OK && o.Energy == best {
 			resp.Best = o.Heuristic
+			resp.Mapping = o.Mapping
 			break
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCellsExecute is the shard-worker endpoint: a coordinator's
+// ShardExecutor POSTs a range of cell specs, this process solves them on its
+// local pool against the shared campaign cache, and answers one wire result
+// per cell in request order. Specs are validated up front so a malformed
+// range is rejected whole (the coordinator falls back to local execution)
+// rather than half-executed.
+func (s *Server) handleCellsExecute(w http.ResponseWriter, r *http.Request) {
+	var req engine.ExecuteCellsRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		writeError(w, http.StatusBadRequest, "bad request: no cells")
+		return
+	}
+	if len(req.Cells) > s.maxCells {
+		writeError(w, http.StatusBadRequest, "bad request: range has %d cells, limit %d", len(req.Cells), s.maxCells)
+		return
+	}
+	for _, spec := range req.Cells {
+		if err := spec.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		if err := s.checkGrid(spec.P, spec.Q); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request: cell %q: %v", spec.Key, err)
+			return
+		}
+	}
+	// Admission control: each range runs a full local pool, so unbounded
+	// concurrent ranges would oversubscribe the worker the same way
+	// unbounded campaigns would the coordinator. The sender treats 429 as a
+	// worker failure and absorbs the range in its fallback pool.
+	select {
+	case s.rangeSem <- struct{}{}:
+		defer func() { <-s.rangeSem }()
+	default:
+		writeError(w, http.StatusTooManyRequests, "%d cell ranges already executing; retry later", cap(s.rangeSem))
+		return
+	}
+	results, err := engine.ExecuteSpecs(r.Context(), s.local, req.Cells, s.cache)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "execute failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, engine.ExecuteCellsResponse{Results: results})
 }
 
 // handleCampaignSubmit validates a campaign, registers a job and runs it
@@ -380,20 +527,41 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request: campaign has %d cells, limit %d", len(cells), s.maxCells)
 		return
 	}
+	if req.Shards < 0 || (req.Shards > 0 && len(req.Workers) == 0) {
+		writeError(w, http.StatusBadRequest, "bad request: shards=%d needs a non-empty worker list", req.Shards)
+		return
+	}
+	ex := s.exec
+	var shard *engine.ShardExecutor
+	switch {
+	case len(req.Workers) > 0:
+		shard = &engine.ShardExecutor{Workers: req.Workers, Shards: req.Shards, LocalFallback: s.pool}
+		ex = shard
+	default:
+		// A coordinator configured with a process-wide ShardExecutor (the
+		// -worker flags) runs each job on a fresh clone, so the job's status
+		// reports its own fallback count rather than a process-lifetime one.
+		if se, ok := s.exec.(*engine.ShardExecutor); ok {
+			shard = se.Clone()
+			ex = shard
+		}
+	}
 
 	s.mu.Lock()
+	s.pruneJobsLocked()
 	if s.running >= s.maxActive {
 		s.mu.Unlock()
 		writeError(w, http.StatusTooManyRequests, "%d campaigns already running, limit %d; retry later", s.maxActive, s.maxActive)
 		return
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	s.running++
 	s.nextID++
-	j := &job{id: fmt.Sprintf("c%d", s.nextID), kind: kind, total: len(cells), status: "running"}
+	j := &job{id: fmt.Sprintf("c%d", s.nextID), kind: kind, total: len(cells), status: "running", cancel: cancel, shard: shard}
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
-	go s.runCampaign(j, cells, reduce)
+	go s.runCampaign(ctx, ex, j, cells, reduce)
 
 	writeJSON(w, http.StatusAccepted, campaignSubmitResponse{
 		ID:        j.id,
@@ -402,8 +570,8 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) runCampaign(j *job, cells []engine.Cell, reduce func([]engine.CellResult) (any, error)) {
-	results, err := engine.Run(context.Background(), s.exec, engine.Campaign{
+func (s *Server) runCampaign(ctx context.Context, ex engine.Executor, j *job, cells []engine.Cell, reduce func([]engine.CellResult) (any, error)) {
+	results, err := engine.Run(ctx, ex, engine.Campaign{
 		Cells:  cells,
 		Cache:  s.cache,
 		OnCell: func(engine.CellResult) { j.done.Add(1) },
@@ -417,21 +585,52 @@ func (s *Server) runCampaign(j *job, cells []engine.Cell, reduce func([]engine.C
 	// next campaign without racing a 429.
 	s.mu.Lock()
 	s.running--
+	j.finishedAt = s.now()
 	s.mu.Unlock()
+	j.cancel() // release the context now that the run is over
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err != nil {
+	switch {
+	case errors.Is(err, context.Canceled):
+		j.status = "cancelled"
+		j.errMsg = "cancelled"
+	case err != nil:
 		j.status = "failed"
 		j.errMsg = err.Error()
-		return
+	default:
+		j.status = "done"
+		j.result = result
 	}
-	j.status = "done"
-	j.result = result
+}
+
+// pruneJobsLocked enforces the finished-job retention bounds: jobs older
+// than the TTL are dropped, and beyond MaxFinishedJobs the oldest-finished
+// go first. Running jobs are never pruned. Callers hold s.mu.
+func (s *Server) pruneJobsLocked() {
+	now := s.now()
+	var finished []*job
+	for id, j := range s.jobs {
+		if j.finishedAt.IsZero() {
+			continue
+		}
+		if s.jobTTL > 0 && now.Sub(j.finishedAt) > s.jobTTL {
+			delete(s.jobs, id)
+			continue
+		}
+		finished = append(finished, j)
+	}
+	if s.maxFinished > 0 && len(finished) > s.maxFinished {
+		sort.Slice(finished, func(i, k int) bool { return finished[i].finishedAt.Before(finished[k].finishedAt) })
+		for _, j := range finished[:len(finished)-s.maxFinished] {
+			delete(s.jobs, j.id)
+		}
+	}
 }
 
 func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
+	s.pruneJobsLocked()
 	j := s.jobs[id]
 	s.mu.Unlock()
 	if j == nil {
@@ -449,5 +648,36 @@ func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
 		Error:  j.errMsg,
 	}
 	j.mu.Unlock()
+	if j.shard != nil {
+		resp.Fallbacks = j.shard.Fallbacks()
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCampaignDelete cancels a running campaign (the engine's executors
+// honor context cancellation: in-flight cells drain, unstarted cells never
+// run, and the job turns "cancelled") or drops a finished one from the job
+// table immediately.
+func (s *Server) handleCampaignDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	running := j != nil && j.finishedAt.IsZero()
+	if j != nil && !running {
+		delete(s.jobs, id)
+	}
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	if running {
+		j.cancel()
+		writeJSON(w, http.StatusAccepted, campaignStatusResponse{ID: j.id, Kind: j.kind, Status: "cancelling", Done: j.done.Load(), Total: j.total})
+		return
+	}
+	j.mu.Lock()
+	status := j.status
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, campaignStatusResponse{ID: j.id, Kind: j.kind, Status: status, Done: j.done.Load(), Total: j.total})
 }

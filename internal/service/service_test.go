@@ -8,11 +8,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"spgcmp/internal/engine"
 	"spgcmp/internal/experiments"
+	"spgcmp/internal/mapping"
+	"spgcmp/internal/platform"
 	"spgcmp/internal/streamit"
 )
 
@@ -362,5 +365,363 @@ func TestCampaignActiveLimit(t *testing.T) {
 	}
 	if resp3, _ := postJSON(t, ts.URL+"/v1/campaign", body); resp3.StatusCode != http.StatusAccepted {
 		t.Fatalf("post-completion submit: %d, want 202", resp3.StatusCode)
+	}
+}
+
+// TestMapReturnsMapping: /v1/map answers carry the winning placement, and it
+// rebuilds into a mapping whose authoritative evaluation reproduces the
+// reported energy exactly.
+func TestMapReturnsMapping(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/map",
+		`{"workload":{"streamit":"DCT","ccr":1},"p":2,"q":2,"seed":42}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map status %d: %s", resp.StatusCode, data)
+	}
+	var mr mapResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Mapping == nil {
+		t.Fatal("feasible answer without a winning mapping")
+	}
+	if mr.Mapping.P != 2 || mr.Mapping.Q != 2 {
+		t.Fatalf("mapping targets %dx%d", mr.Mapping.P, mr.Mapping.Q)
+	}
+	var bestEnergy float64
+	for _, o := range mr.Result.Outcomes {
+		if o.Heuristic == mr.Best {
+			bestEnergy = o.Energy
+		}
+		if o.OK && o.Mapping == nil {
+			t.Errorf("%s: OK outcome without mapping", o.Heuristic)
+		}
+	}
+	pl := platform.XScale(2, 2)
+	m, err := mr.Mapping.Mapping(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := streamit.ByName("DCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := a.GraphWithCCR(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapping.Evaluate(g, pl, m, mr.Result.Period)
+	if err != nil {
+		t.Fatalf("returned mapping does not evaluate: %v", err)
+	}
+	if math.Float64bits(res.Energy) != math.Float64bits(bestEnergy) {
+		t.Errorf("re-evaluated energy %g != reported %g", res.Energy, bestEnergy)
+	}
+}
+
+// TestCellsExecuteEndpoint: the worker endpoint solves spec ranges on the
+// shared engine bit-identically to a local solve, in request order.
+func TestCellsExecuteEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	a, err := streamit.ByName("DCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []engine.CellSpec{
+		experiments.NewStreamItCell(a, 1, 2, 2, 7).Spec,
+		experiments.NewStreamItCell(a, 10, 2, 2, 8).Spec,
+	}
+	body, err := json.Marshal(engine.ExecuteCellsRequest{Cells: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/cells/execute", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("execute status %d: %s", resp.StatusCode, data)
+	}
+	var out engine.ExecuteCellsResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(specs) {
+		t.Fatalf("%d results for %d cells", len(out.Results), len(specs))
+	}
+	for i, w := range out.Results {
+		want := engine.Solve(specs[i].Cell(), nil)
+		if w.Key != want.Key || w.Feasible != want.Feasible ||
+			math.Float64bits(w.Result.Period) != math.Float64bits(want.Result.Period) {
+			t.Errorf("result %d: (%s,%v,%g) vs (%s,%v,%g)",
+				i, w.Key, w.Feasible, w.Result.Period, want.Key, want.Feasible, want.Result.Period)
+		}
+		for j, o := range w.Result.Outcomes {
+			wo := want.Result.Outcomes[j]
+			if o.Heuristic != wo.Heuristic || o.OK != wo.OK ||
+				(o.OK && math.Float64bits(o.Energy) != math.Float64bits(wo.Energy)) {
+				t.Errorf("result %d %s: %+v != %+v", i, o.Heuristic, o, wo)
+			}
+		}
+	}
+
+	for _, tc := range []struct{ name, body string }{
+		{"malformed", `{"cells":`},
+		{"empty", `{"cells":[]}`},
+		{"no workload", `{"cells":[{"key":"k","p":2,"q":2}]}`},
+		{"bad grid", `{"cells":[{"key":"k","workload":{"streamit":"DCT"},"p":0,"q":2}]}`},
+		{"huge grid", `{"cells":[{"key":"k","workload":{"streamit":"DCT"},"p":64,"q":64}]}`},
+	} {
+		resp, data := postJSON(t, ts.URL+"/v1/cells/execute", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestCampaignSharded: a campaign submitted with a worker list runs through
+// the ShardExecutor against real worker processes (here: a second service
+// instance sharing the cache) and reduces bit-identically to the local run;
+// a broken worker only raises the fallback counter.
+func TestCampaignSharded(t *testing.T) {
+	ts, cache := newTestServer(t)
+	workerSrv := New(Config{Cache: cache, MaxCampaignCells: 64})
+	worker := httptest.NewServer(workerSrv.Handler())
+	t.Cleanup(worker.Close)
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "injected failure", http.StatusInternalServerError)
+	}))
+	t.Cleanup(broken.Close)
+
+	run := func(extra string) campaignStatusResponse {
+		t.Helper()
+		resp, data := postJSON(t, ts.URL+"/v1/campaign",
+			`{"streamit":{"p":2,"q":2,"apps":["DCT","FFT"],"seed":3}`+extra+`}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d (%s)", resp.StatusCode, data)
+		}
+		var sub campaignSubmitResponse
+		if err := json.Unmarshal(data, &sub); err != nil {
+			t.Fatal(err)
+		}
+		st := waitForCampaign(t, ts.URL+sub.StatusURL)
+		if st.Status != "done" {
+			t.Fatalf("campaign ended %q: %s", st.Status, st.Error)
+		}
+		return st
+	}
+
+	local := run("")
+	sharded := run(`,"workers":["` + worker.URL + `"],"shards":2`)
+	degraded := run(`,"workers":["` + worker.URL + `","` + broken.URL + `"],"shards":4`)
+
+	localJSON, err := json.Marshal(local.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, st := range map[string]campaignStatusResponse{"sharded": sharded, "degraded": degraded} {
+		raw, err := json.Marshal(st.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != string(localJSON) {
+			t.Errorf("%s result diverged from local run", name)
+		}
+	}
+	if sharded.Fallbacks != 0 {
+		t.Errorf("healthy shard run reported %d fallbacks", sharded.Fallbacks)
+	}
+	if degraded.Fallbacks == 0 {
+		t.Error("degraded shard run reported no fallbacks")
+	}
+	if st := run(`,"workers":["` + broken.URL + `"]`); st.Fallbacks == 0 {
+		t.Error("all-broken shard run reported no fallbacks")
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/campaign",
+		`{"streamit":{"p":2,"q":2,"apps":["DCT"],"seed":3},"shards":2}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("shards without workers: %d, want 400 (%s)", resp.StatusCode, data)
+	}
+}
+
+// blockingExecutor parks until its context is cancelled — a campaign that
+// never finishes on its own, for exercising DELETE.
+type blockingExecutor struct{}
+
+func (blockingExecutor) Execute(ctx context.Context, n int, run func(i int)) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// TestCampaignCancel: DELETE on a running campaign cancels it through the
+// engine's context (status turns "cancelled"); DELETE on a finished job
+// drops it from the table.
+func TestCampaignCancel(t *testing.T) {
+	srv := New(Config{Cache: engine.NewAnalysisCache(8), Executor: blockingExecutor{}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, data := postJSON(t, ts.URL+"/v1/campaign", `{"streamit":{"p":2,"q":2,"apps":["DCT"],"seed":1}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d (%s)", resp.StatusCode, data)
+	}
+	var sub campaignSubmitResponse
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+sub.StatusURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cancelled campaignStatusResponse
+	if err := json.NewDecoder(dresp.Body).Decode(&cancelled); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted || cancelled.Status != "cancelling" {
+		t.Fatalf("cancel answered %d %q", dresp.StatusCode, cancelled.Status)
+	}
+	st := waitForCampaign(t, ts.URL+sub.StatusURL)
+	if st.Status != "cancelled" {
+		t.Fatalf("cancelled campaign ended %q", st.Status)
+	}
+
+	// Deleting the now-finished job drops it.
+	dresp2, err := http.DefaultClient.Do(del.Clone(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp2.Body)
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusOK {
+		t.Fatalf("delete finished job: %d", dresp2.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+sub.StatusURL, nil); code != http.StatusNotFound {
+		t.Errorf("deleted job still pollable: %d", code)
+	}
+	dresp3, err := http.DefaultClient.Do(del.Clone(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp3.Body)
+	dresp3.Body.Close()
+	if dresp3.StatusCode != http.StatusNotFound {
+		t.Errorf("double delete: %d, want 404", dresp3.StatusCode)
+	}
+}
+
+// TestJobRetention: finished jobs expire by TTL and by the finished-job
+// count bound, oldest first; running jobs are never pruned.
+func TestJobRetention(t *testing.T) {
+	var clock atomic.Value
+	clock.Store(time.Unix(1_000_000, 0))
+	srv := New(Config{
+		Cache:           engine.NewAnalysisCache(8),
+		JobTTL:          time.Hour,
+		MaxFinishedJobs: 1,
+		Now:             func() time.Time { return clock.Load().(time.Time) },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	submit := func() string {
+		t.Helper()
+		resp, data := postJSON(t, ts.URL+"/v1/campaign", `{"streamit":{"p":2,"q":2,"apps":["DCT"],"seed":1}}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d (%s)", resp.StatusCode, data)
+		}
+		var sub campaignSubmitResponse
+		if err := json.Unmarshal(data, &sub); err != nil {
+			t.Fatal(err)
+		}
+		if st := waitForCampaign(t, ts.URL+sub.StatusURL); st.Status != "done" {
+			t.Fatalf("campaign ended %q: %s", st.Status, st.Error)
+		}
+		return sub.StatusURL
+	}
+
+	first := submit()
+	second := submit()
+	// MaxFinishedJobs=1: polling (which prunes) must have evicted the first.
+	if code := getJSON(t, ts.URL+second, nil); code != http.StatusOK {
+		t.Fatalf("second job pollable: %d", code)
+	}
+	if code := getJSON(t, ts.URL+first, nil); code != http.StatusNotFound {
+		t.Errorf("oldest finished job survived the count bound: %d", code)
+	}
+	// Advance past the TTL: the second job expires too.
+	clock.Store(clock.Load().(time.Time).Add(2 * time.Hour))
+	if code := getJSON(t, ts.URL+second, nil); code != http.StatusNotFound {
+		t.Errorf("finished job survived the TTL: %d", code)
+	}
+}
+
+// signalingExecutor announces when a run starts and parks until released —
+// for holding a /v1/cells/execute range in flight deterministically.
+type signalingExecutor struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (g *signalingExecutor) Execute(ctx context.Context, n int, run func(i int)) error {
+	g.started <- struct{}{}
+	<-g.release
+	return (&engine.PoolExecutor{}).Execute(ctx, n, run)
+}
+
+// TestCellsExecuteRangeLimit: concurrent ranges beyond MaxActiveRanges
+// answer 429 (the sender's fallback absorbs them); capacity frees when a
+// range finishes.
+func TestCellsExecuteRangeLimit(t *testing.T) {
+	gate := &signalingExecutor{started: make(chan struct{}, 1), release: make(chan struct{})}
+	srv := New(Config{Cache: engine.NewAnalysisCache(8), Executor: gate, MaxActiveRanges: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	a, err := streamit.ByName("DCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(engine.ExecuteCellsRequest{Cells: []engine.CellSpec{
+		experiments.NewStreamItCell(a, 1, 2, 2, 7).Spec,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		code int
+		data []byte
+	}
+	first := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/cells/execute", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			first <- result{0, []byte(err.Error())}
+			return
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		first <- result{resp.StatusCode, data}
+	}()
+	<-gate.started // the first range now holds the only slot
+
+	resp2, data2 := postJSON(t, ts.URL+"/v1/cells/execute", string(body))
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit range: %d, want 429 (%s)", resp2.StatusCode, data2)
+	}
+
+	close(gate.release)
+	r1 := <-first
+	if r1.code != http.StatusOK {
+		t.Fatalf("gated range: %d (%s)", r1.code, r1.data)
+	}
+	// Capacity freed: the next range executes.
+	resp3, data3 := postJSON(t, ts.URL+"/v1/cells/execute", string(body))
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("post-release range: %d (%s)", resp3.StatusCode, data3)
 	}
 }
