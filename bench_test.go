@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"spgcmp/internal/core"
 	"spgcmp/internal/engine"
@@ -774,4 +775,77 @@ func BenchmarkShardExecutor(b *testing.B) {
 	if ex.Fallbacks() > 0 {
 		b.Fatalf("%d shard ranges fell back locally", ex.Fallbacks())
 	}
+}
+
+// BenchmarkDispatcherSteal measures the cluster scheduler's point on a
+// heterogeneous cluster: one worker is artificially slow (a per-cell stall
+// modelling an overloaded host), the other fast. Under the work-stealing
+// Dispatcher the fast worker pulls (and steals) most chunks, so the
+// campaign finishes near the fast worker's pace; under the ShardExecutor's
+// static up-front ranges the slow worker serializes its whole half. Both
+// sub-benchmarks run the identical campaign over the same warm cache, and
+// results stay bit-identical either way.
+func BenchmarkDispatcherSteal(b *testing.B) {
+	apps := benchApps(b)
+	cache := benchEngineCache(b, apps)
+	const perCell = 15 * time.Millisecond
+	worker := func(stall bool) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			var req engine.ExecuteCellsRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if stall {
+				select {
+				case <-time.After(time.Duration(len(req.Cells)) * perCell):
+				case <-r.Context().Done():
+					return
+				}
+			}
+			results, err := engine.ExecuteSpecs(r.Context(), nil, req.Cells, cache)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			_ = json.NewEncoder(w).Encode(engine.ExecuteCellsResponse{Results: results})
+		}))
+	}
+	slow, fast := worker(true), worker(false)
+	defer slow.Close()
+	defer fast.Close()
+	campaign := func(b *testing.B, ex engine.Executor) {
+		b.Helper()
+		results, err := engine.Run(context.Background(), ex, engine.Campaign{
+			Cells: experiments.StreamItCells(4, 4, apps, 1),
+			Cache: cache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.ReduceStreamIt(4, 4, apps, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("WorkSteal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := &engine.Dispatcher{
+				Registry:   engine.NewWorkerRegistry(engine.RegistryConfig{}, slow.URL, fast.URL),
+				ChunkCells: 1,
+			}
+			campaign(b, d)
+			if st := d.Stats(); st.LocalFallbacks > 0 {
+				b.Fatalf("%d chunks fell back locally", st.LocalFallbacks)
+			}
+		}
+	})
+	b.Run("StaticRanges", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ex := &engine.ShardExecutor{Workers: []string{slow.URL, fast.URL}, Shards: 2}
+			campaign(b, ex)
+			if ex.Fallbacks() > 0 {
+				b.Fatalf("%d shard ranges fell back locally", ex.Fallbacks())
+			}
+		}
+	})
 }

@@ -4,46 +4,107 @@
 // internal/service and the README next to this file).
 //
 // Every spgserve process also answers the shard-worker endpoint
-// POST /v1/cells/execute, so a cluster is just N ordinary instances plus one
-// coordinator started with -worker flags naming them: the coordinator's
-// campaigns are partitioned into cell ranges, shipped to the workers, and
-// reassembled — bit-identical to a single-process run, with local fallback
-// when a worker fails.
+// POST /v1/cells/execute, so a cluster is just N ordinary instances plus a
+// coordinator that knows them: either seed the coordinator with -worker
+// flags, or start each worker with -register-with pointing at the
+// coordinator and let it announce itself. The coordinator's worker registry
+// health-probes every member, and its work-stealing dispatcher pulls
+// family-affine cell chunks to whichever workers are free — re-dispatching
+// failed chunks to surviving workers — so campaigns stay bit-identical to a
+// single-process run through worker deaths, rejoins and replacements.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"spgcmp/internal/engine"
 	"spgcmp/internal/service"
 )
 
+// addWorkerURLs appends the -worker flag value's URLs to dst: each
+// occurrence may carry one URL or a comma-separated list.
+func addWorkerURLs(dst *[]string, value string) error {
+	for _, u := range strings.Split(value, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			return fmt.Errorf("empty worker URL in %q", value)
+		}
+		*dst = append(*dst, u)
+	}
+	return nil
+}
+
+// advertiseURL derives the base URL this process registers under from its
+// listen address when -advertise is not given: a wildcard or empty host
+// becomes 127.0.0.1 (the operator must pass -advertise for anything
+// reachable across machines).
+func advertiseURL(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	switch host {
+	case "", "0.0.0.0", "::", "[::]":
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// registerLoop announces this process to a coordinator's POST /v1/workers —
+// immediately, then every interval as a keep-alive, so a coordinator that
+// restarts (or starts late) relearns its workers without operator action.
+func registerLoop(coordinator, selfURL string, interval time.Duration) {
+	endpoint := strings.TrimRight(coordinator, "/") + "/v1/workers"
+	body := fmt.Sprintf(`{"url":%q}`, selfURL)
+	registered := false
+	for {
+		resp, err := http.Post(endpoint, "application/json", bytes.NewReader([]byte(body)))
+		switch {
+		case err != nil:
+			log.Printf("registering with %s failed: %v (retrying)", coordinator, err)
+			registered = false
+		case resp.StatusCode != http.StatusOK:
+			log.Printf("registering with %s answered %s (retrying)", coordinator, resp.Status)
+			registered = false
+		case !registered:
+			log.Printf("registered as %s with coordinator %s", selfURL, coordinator)
+			registered = true
+		}
+		if resp != nil {
+			resp.Body.Close()
+		}
+		time.Sleep(interval)
+	}
+}
+
 func main() {
 	var workerURLs []string
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		cacheSize  = flag.Int("cache-entries", 512, "campaign cache capacity in workloads; <= 0 removes the entry bound, which with -cache-mb 0 disables caching entirely")
-		cacheMB    = flag.Int64("cache-mb", 0, "campaign cache byte bound in MiB, estimated by spg.Analysis.MemoryFootprint (0 disables)")
-		workers    = flag.Int("workers", 0, "campaign executor workers (0 = GOMAXPROCS)")
-		maxCells   = flag.Int("max-campaign-cells", 10_000, "largest accepted campaign, in cells")
-		maxGrid    = flag.Int("max-grid", 16, "largest accepted CMP side")
-		maxRanges  = flag.Int("max-active-ranges", 4, "concurrently executing /v1/cells/execute ranges; beyond it workers answer 429")
-		shards     = flag.Int("shards", 0, "cell ranges to partition sharded campaigns into (0 = one per -worker)")
-		jobTTL     = flag.Duration("job-ttl", time.Hour, "how long finished campaign jobs stay pollable (negative disables)")
-		maxJobs    = flag.Int("max-finished-jobs", 64, "retained finished campaign jobs, oldest evicted first (negative disables)")
-		quickstart = flag.Bool("h-examples", false, "print example requests and exit")
+		addr          = flag.String("addr", ":8080", "listen address")
+		cacheSize     = flag.Int("cache-entries", 512, "campaign cache capacity in workloads; <= 0 removes the entry bound, which with -cache-mb 0 disables caching entirely")
+		cacheMB       = flag.Int64("cache-mb", 0, "campaign cache byte bound in MiB, estimated by spg.Analysis.MemoryFootprint (0 disables)")
+		workers       = flag.Int("workers", 0, "campaign executor workers (0 = GOMAXPROCS)")
+		maxCells      = flag.Int("max-campaign-cells", 10_000, "largest accepted campaign, in cells")
+		maxGrid       = flag.Int("max-grid", 16, "largest accepted CMP side")
+		maxRanges     = flag.Int("max-active-ranges", 4, "concurrently executing /v1/cells/execute ranges; beyond it workers answer 429")
+		chunkCells    = flag.Int("chunk-cells", 0, "cells per dispatcher chunk for scheduled campaigns (0 = one workload family)")
+		probeInterval = flag.Duration("probe-interval", 5*time.Second, "worker health-probe spacing (also the self-registration keep-alive interval)")
+		registerWith  = flag.String("register-with", "", "coordinator base URL to self-register with via POST /v1/workers")
+		advertise     = flag.String("advertise", "", "base URL this process registers under (default derived from -addr)")
+		jobTTL        = flag.Duration("job-ttl", time.Hour, "how long finished campaign jobs stay pollable (negative disables)")
+		maxJobs       = flag.Int("max-finished-jobs", 64, "retained finished campaign jobs, oldest evicted first (negative disables)")
+		quickstart    = flag.Bool("h-examples", false, "print example requests and exit")
 	)
-	flag.Func("worker", "shard-worker base URL (repeatable); campaigns shard across all listed workers", func(u string) error {
-		if u == "" {
-			return fmt.Errorf("empty worker URL")
-		}
-		workerURLs = append(workerURLs, u)
-		return nil
+	flag.Func("worker", "shard-worker base URL, repeatable and/or comma-separated; seeds the coordinator's worker registry", func(v string) error {
+		return addWorkerURLs(&workerURLs, v)
 	})
 	flag.Parse()
 	if *quickstart {
@@ -52,36 +113,42 @@ curl -X POST localhost:8080/v1/map -d '{"workload":{"streamit":"FFT","ccr":1},"p
 curl -X POST localhost:8080/v1/campaign -d '{"streamit":{"p":4,"q":4,"apps":["DCT","FFT"],"seed":42}}'
 curl localhost:8080/v1/campaign/c1
 curl -X DELETE localhost:8080/v1/campaign/c1
+curl localhost:8080/v1/workers
 # coordinator of a 3-process cluster (see README.md):
-#   spgserve -addr :8080 -worker http://127.0.0.1:8081 -worker http://127.0.0.1:8082 -shards 4`)
+#   spgserve -addr :8080 -worker http://127.0.0.1:8081,http://127.0.0.1:8082
+# or let workers announce themselves:
+#   spgserve -addr :8081 -register-with http://127.0.0.1:8080`)
 		os.Exit(0)
 	}
 
 	cache := engine.NewAnalysisCacheBytes(*cacheSize, *cacheMB<<20)
-	pool := &engine.PoolExecutor{Workers: *workers}
-	var exec engine.Executor = pool
-	if len(workerURLs) > 0 {
-		exec = &engine.ShardExecutor{
-			Workers:       workerURLs,
-			Shards:        *shards,
-			LocalFallback: *pool,
-			OnFallback: func(start, end int, err error) {
-				log.Printf("shard range [%d,%d) fell back to local execution: %v", start, end, err)
-			},
-		}
-	}
+	registry := engine.NewWorkerRegistry(engine.RegistryConfig{ProbeInterval: *probeInterval}, workerURLs...)
+	registry.Start()
+	defer registry.Stop()
 	srv := service.New(service.Config{
-		Cache:            cache,
-		Executor:         exec,
+		Cache:    cache,
+		Executor: &engine.PoolExecutor{Workers: *workers},
+		Registry: registry,
+		OnFallback: func(start, end int, err error) {
+			log.Printf("dispatch chunk [%d,%d) fell back to local execution: %v", start, end, err)
+		},
+		ChunkCells:       *chunkCells,
 		MaxGrid:          *maxGrid,
 		MaxCampaignCells: *maxCells,
 		MaxActiveRanges:  *maxRanges,
 		JobTTL:           *jobTTL,
 		MaxFinishedJobs:  *maxJobs,
 	})
+	if *registerWith != "" {
+		self := *advertise
+		if self == "" {
+			self = advertiseURL(*addr)
+		}
+		go registerLoop(*registerWith, self, *probeInterval)
+	}
 	role := "single-process"
 	if len(workerURLs) > 0 {
-		role = fmt.Sprintf("coordinator of %d workers", len(workerURLs))
+		role = fmt.Sprintf("coordinator seeded with %d workers", len(workerURLs))
 	}
 	log.Printf("spgserve listening on %s (%s; cache: %d entries, %d MiB; workers: %d)",
 		*addr, role, *cacheSize, *cacheMB, *workers)

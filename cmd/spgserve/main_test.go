@@ -1,0 +1,45 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAddWorkerURLs: one -worker occurrence may carry a single URL or a
+// comma-separated list, occurrences accumulate, and empty entries are
+// rejected rather than silently dropped.
+func TestAddWorkerURLs(t *testing.T) {
+	var urls []string
+	if err := addWorkerURLs(&urls, "http://a:8081"); err != nil {
+		t.Fatal(err)
+	}
+	if err := addWorkerURLs(&urls, "http://b:8082,http://c:8083 , http://d:8084"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:8081", "http://b:8082", "http://c:8083", "http://d:8084"}
+	if !reflect.DeepEqual(urls, want) {
+		t.Fatalf("accumulated %v, want %v", urls, want)
+	}
+	for _, bad := range []string{"", ",", "http://a:1,,http://b:2", "http://a:1, "} {
+		var dst []string
+		if err := addWorkerURLs(&dst, bad); err == nil {
+			t.Errorf("addWorkerURLs(%q) accepted", bad)
+		}
+	}
+}
+
+// TestAdvertiseURL: wildcard and empty listen hosts advertise as loopback;
+// concrete hosts survive.
+func TestAdvertiseURL(t *testing.T) {
+	for _, tc := range []struct{ addr, want string }{
+		{":8080", "http://127.0.0.1:8080"},
+		{"0.0.0.0:8080", "http://127.0.0.1:8080"},
+		{"[::]:9000", "http://127.0.0.1:9000"},
+		{"10.1.2.3:8080", "http://10.1.2.3:8080"},
+		{"worker7.cluster:80", "http://worker7.cluster:80"},
+	} {
+		if got := advertiseURL(tc.addr); got != tc.want {
+			t.Errorf("advertiseURL(%q) = %q, want %q", tc.addr, got, tc.want)
+		}
+	}
+}

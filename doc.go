@@ -88,33 +88,52 @@
 // campaigns bit-identical to the pre-engine loops for every (app, CCR,
 // period, heuristic) cell at any worker count, cached or not.
 //
-// Two executors implement the seam. PoolExecutor runs cells on an
-// in-process worker pool. ShardExecutor is the distributed layer: it
-// partitions the cell index space into contiguous ranges, ships each
-// range's specs to a remote worker process over HTTP/JSON
-// (POST /v1/cells/execute), and reassembles the wire results at their
-// absolute indexes. Because cells are pure functions of their specs,
-// a range whose worker errors, times out or dies mid-request is simply
-// re-executed on the local fallback pool — the shard-equivalence suite
-// proves campaign results bit-identical to the PoolExecutor at any shard
-// count, with and without injected worker failures. Results cross the wire
-// losslessly: CellOutcome (float64 energies round-trip bit-exactly through
-// encoding/json) optionally carries the winning placement as
-// mapping.WireMapping, the platform-independent canonical wire form of a
-// Mapping.
+// Three executors implement the seam. PoolExecutor runs cells on an
+// in-process worker pool. ShardExecutor is the original distributed layer:
+// it partitions the cell index space into balanced contiguous ranges, ships
+// each range's specs once, up front, to a static worker list over HTTP/JSON
+// (POST /v1/cells/execute), reassembles the wire results at their absolute
+// indexes, and re-executes failed ranges on the local fallback pool.
+// Dispatcher is the cluster scheduler that supersedes it for real clusters:
+// a WorkerRegistry tracks cluster membership (static -worker seeds plus
+// POST /v1/workers self-registrations) and worker health (periodic
+// /v1/healthz probes plus dispatch outcomes drive a
+// healthy -> suspect -> dead machine with rejoin on recovery), and the
+// Dispatcher splits campaigns into small chunks aligned to workload-family
+// boundaries which healthy workers pull as they free up. Placement is
+// cache-affine — each family has a rendezvous-hash owner among the healthy
+// workers, so one family's analyses warm one worker's AnalysisCache, with
+// steal-on-idle overriding affinity so no worker starves — and a chunk
+// whose dispatch fails or times out is re-dispatched to a different healthy
+// worker, falling back to the local pool only when no healthy worker
+// remains that hasn't already failed it. Because cells are pure functions
+// of their specs, every re-placement is free: the dispatcher- and
+// shard-equivalence suites prove campaign results bit-identical to the
+// PoolExecutor at any worker count, chunk size and failure schedule
+// (dead workers, slow workers, workers that die mid-campaign and rejoin).
+// Results cross the wire losslessly: CellOutcome (float64 energies
+// round-trip bit-exactly through encoding/json) optionally carries the
+// winning placement as mapping.WireMapping, the platform-independent
+// canonical wire form of a Mapping.
 //
 // internal/service exposes the engine over HTTP/JSON (cmd/spgserve):
 // POST /v1/map answers one workload with the period-selection protocol plus
 // the winning mapping's placement, POST /v1/campaign runs whole campaigns
 // asynchronously with cell-level progress polling at GET /v1/campaign/{id}
-// and cancellation at DELETE /v1/campaign/{id} (finished jobs are retained
-// under TTL and count bounds), and GET /v1/healthz reports the shared
-// cache's statistics. Every instance also answers the shard-worker endpoint
-// POST /v1/cells/execute, so a cluster is N ordinary spgserve processes
-// plus a coordinator started with -worker flags naming them (campaign
-// submissions can also carry an explicit worker list). One engine and one
-// cache back all endpoints, so a service that has mapped a workload family
-// once answers every later request on it from warm structures.
+// — including per-worker chunk attribution and the redispatch /
+// local-fallback counters — and cancellation at DELETE /v1/campaign/{id}
+// (propagated through the dispatcher into in-flight worker requests;
+// finished jobs are retained under TTL and count bounds), and
+// GET /v1/healthz reports the shared cache's statistics plus, on a
+// coordinator, the worker registry snapshot and lifetime dispatcher
+// counters. Every instance answers the shard-worker endpoint
+// POST /v1/cells/execute and the registry endpoints
+// POST/GET/DELETE /v1/workers, so a cluster is N ordinary spgserve
+// processes plus a coordinator that either names them with -worker flags or
+// lets them self-register with -register-with; registering a worker
+// promotes any running instance to coordinator. One engine and one cache
+// back all endpoints, so a service that has mapped a workload family once
+// answers every later request on it from warm structures.
 //
 // BenchmarkCampaign vs BenchmarkCampaignUncached quantifies the end-to-end
 // effect on the full StreamIt suite (all CCR variants, warm cache; >20x on a
@@ -130,6 +149,8 @@
 // examples/period-sweep documents the cache layers from a user's
 // perspective. The benchmarks in bench_test.go regenerate each table and
 // figure at reduced scale; BenchmarkEngineCampaign vs
-// BenchmarkEngineCampaignLegacy isolates the engine indirection's cost, and
-// BenchmarkShardExecutor the wire crossing of the distributed path.
+// BenchmarkEngineCampaignLegacy isolates the engine indirection's cost,
+// BenchmarkShardExecutor the wire crossing of the distributed path, and
+// BenchmarkDispatcherSteal the work-stealing scheduler's win over static
+// ranges on a cluster with one slow worker.
 package spgcmp

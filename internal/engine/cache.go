@@ -2,6 +2,7 @@ package engine
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -96,6 +97,25 @@ func (c *AnalysisCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Keys returns the keys of every completed cached workload, sorted — how
+// the affinity tests (and operators) inspect which workload families a
+// worker's cache actually holds.
+func (c *AnalysisCache) Keys() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	var keys []string
+	for k, e := range c.entries {
+		if e.done.Load() {
+			keys = append(keys, k)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // Purge drops every cached workload.

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flappableHealthz is a worker stand-in whose /v1/healthz can be switched
+// off and on, for driving the registry's state machine deterministically.
+func flappableHealthz(t *testing.T) (*httptest.Server, *atomic.Bool) {
+	t.Helper()
+	var down atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "down for maintenance", http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &down
+}
+
+func workerState(t *testing.T, r *WorkerRegistry, url string) WorkerState {
+	t.Helper()
+	for _, w := range r.Workers() {
+		if w.URL == url {
+			return w.State
+		}
+	}
+	t.Fatalf("worker %s not registered", url)
+	return 0
+}
+
+// TestWorkerRegistryStates drives the full health machine through probes:
+// healthy -> suspect on the first failure -> dead after DeadAfter
+// consecutive failures -> healthy again on the first success (rejoin).
+func TestWorkerRegistryStates(t *testing.T) {
+	srv, down := flappableHealthz(t)
+	r := NewWorkerRegistry(RegistryConfig{DeadAfter: 2, ProbeTimeout: time.Second}, srv.URL)
+	ctx := context.Background()
+
+	if got := workerState(t, r, srv.URL); got != WorkerHealthy {
+		t.Fatalf("seed state %v, want healthy", got)
+	}
+	r.Probe(ctx)
+	if got := workerState(t, r, srv.URL); got != WorkerHealthy {
+		t.Fatalf("after good probe: %v", got)
+	}
+
+	down.Store(true)
+	r.Probe(ctx)
+	if got := workerState(t, r, srv.URL); got != WorkerSuspect {
+		t.Fatalf("after one failed probe: %v, want suspect", got)
+	}
+	if len(r.Healthy()) != 0 {
+		t.Fatal("suspect worker still listed healthy")
+	}
+	r.Probe(ctx)
+	if got := workerState(t, r, srv.URL); got != WorkerDead {
+		t.Fatalf("after DeadAfter failures: %v, want dead", got)
+	}
+	if info := r.Workers()[0]; info.ConsecutiveFailures != 2 || info.LastError == "" {
+		t.Errorf("dead worker info %+v lacks failure detail", info)
+	}
+
+	// Dead workers keep being probed: recovery is one success away.
+	down.Store(false)
+	r.Probe(ctx)
+	if got := workerState(t, r, srv.URL); got != WorkerHealthy {
+		t.Fatalf("after recovery probe: %v, want healthy", got)
+	}
+	if info := r.Workers()[0]; info.ConsecutiveFailures != 0 || info.LastError != "" {
+		t.Errorf("recovered worker info %+v retains failure detail", info)
+	}
+}
+
+// TestWorkerRegistryDispatchReports: ReportFailure/ReportSuccess drive the
+// same machine without probes (the per-request ephemeral registry path).
+func TestWorkerRegistryDispatchReports(t *testing.T) {
+	r := NewWorkerRegistry(RegistryConfig{DeadAfter: 3}, "http://w1:1", "http://w2:1")
+	boom := errors.New("connection refused")
+	r.ReportFailure("http://w1:1", boom)
+	if got := workerState(t, r, "http://w1:1"); got != WorkerSuspect {
+		t.Fatalf("after dispatch failure: %v", got)
+	}
+	if h := r.Healthy(); len(h) != 1 || h[0] != "http://w2:1" {
+		t.Fatalf("healthy = %v", h)
+	}
+	r.ReportFailure("http://w1:1", boom)
+	r.ReportFailure("http://w1:1", boom)
+	if got := workerState(t, r, "http://w1:1"); got != WorkerDead {
+		t.Fatalf("after three failures: %v", got)
+	}
+	r.ReportSuccess("http://w1:1")
+	if got := workerState(t, r, "http://w1:1"); got != WorkerHealthy {
+		t.Fatalf("after success: %v", got)
+	}
+	// Reports about unknown workers are ignored, not invented.
+	r.ReportFailure("http://nobody:1", boom)
+	if n := r.Len(); n != 2 {
+		t.Fatalf("unknown-worker report grew the registry to %d", n)
+	}
+}
+
+// TestWorkerRegistryRegistration: registration is idempotent and validating;
+// re-registration revives dead workers but leaves suspect ones for the probe
+// loop; deregistration removes.
+func TestWorkerRegistryRegistration(t *testing.T) {
+	r := NewWorkerRegistry(RegistryConfig{DeadAfter: 1})
+	if err := r.Register("http://w:8080/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("http://w:8080"); err != nil || r.Len() != 1 {
+		t.Fatalf("trailing-slash re-register: err=%v len=%d", err, r.Len())
+	}
+	for _, bad := range []string{"", "w:8080", "ftp://w:1", "http://"} {
+		if err := r.Register(bad); err == nil {
+			t.Errorf("Register(%q) accepted", bad)
+		}
+	}
+
+	r.ReportFailure("http://w:8080", errors.New("x")) // DeadAfter=1: straight to dead
+	if got := workerState(t, r, "http://w:8080"); got != WorkerDead {
+		t.Fatalf("state %v", got)
+	}
+	if err := r.Register("http://w:8080"); err != nil {
+		t.Fatal(err)
+	}
+	if got := workerState(t, r, "http://w:8080"); got != WorkerHealthy {
+		t.Fatalf("re-registration left dead worker %v", got)
+	}
+
+	r2 := NewWorkerRegistry(RegistryConfig{DeadAfter: 2}, "http://w:1")
+	r2.ReportFailure("http://w:1", errors.New("x"))
+	if err := r2.Register("http://w:1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := workerState(t, r2, "http://w:1"); got != WorkerSuspect {
+		t.Fatalf("re-registration flipped suspect worker to %v", got)
+	}
+
+	// Deregistration normalizes the same way registration does, so any
+	// spelling that registers a worker can also remove it.
+	if !r.Deregister("HTTP://w:8080/") {
+		t.Error("deregister under an equivalent spelling reported false")
+	}
+	if err := r.Register("http://w:8080"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Deregister("http://w:8080") {
+		t.Error("deregister of known worker reported false")
+	}
+	if r.Deregister("http://w:8080") {
+		t.Error("double deregister reported true")
+	}
+	if r.Len() != 0 {
+		t.Errorf("registry holds %d after deregister", r.Len())
+	}
+}
+
+// TestWorkerRegistryProbeLoop: Start probes on the interval (a downed worker
+// is demoted without any dispatch traffic); Stop halts the loop and both are
+// idempotent.
+func TestWorkerRegistryProbeLoop(t *testing.T) {
+	srv, down := flappableHealthz(t)
+	r := NewWorkerRegistry(RegistryConfig{
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		DeadAfter:     2,
+	}, srv.URL)
+	r.Start()
+	r.Start() // idempotent
+	defer r.Stop()
+
+	down.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for workerState(t, r, srv.URL) != WorkerDead {
+		if time.Now().After(deadline) {
+			t.Fatalf("probe loop never demoted the worker (state %v)", workerState(t, r, srv.URL))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	down.Store(false)
+	for workerState(t, r, srv.URL) != WorkerHealthy {
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never revived the worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+}
+
+// TestRendezvousOwner: ownership is deterministic, only reassigns families
+// that belonged to a removed worker (minimal disruption — the property that
+// makes rendezvous routing cache-friendly), and spreads families across
+// workers.
+func TestRendezvousOwner(t *testing.T) {
+	workers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	families := make([]string, 60)
+	for i := range families {
+		families[i] = "streamit/app" + string(rune('A'+i%26)) + "/" + string(rune('0'+i/26))
+	}
+	counts := make(map[string]int)
+	owners := make(map[string]string)
+	for _, f := range families {
+		o := rendezvousOwner(f, workers)
+		if o == "" {
+			t.Fatalf("family %q unowned", f)
+		}
+		if again := rendezvousOwner(f, workers); again != o {
+			t.Fatalf("owner of %q not deterministic: %q vs %q", f, o, again)
+		}
+		owners[f] = o
+		counts[o]++
+	}
+	for _, w := range workers {
+		if counts[w] == 0 {
+			t.Errorf("worker %s owns no families (distribution %v)", w, counts)
+		}
+	}
+	// Remove one worker: only its families move.
+	gone := workers[1]
+	survivors := []string{workers[0], workers[2]}
+	for _, f := range families {
+		o := rendezvousOwner(f, survivors)
+		if owners[f] != gone && o != owners[f] {
+			t.Errorf("family %q moved from %q to %q though its owner survived", f, owners[f], o)
+		}
+		if owners[f] == gone && o == gone {
+			t.Errorf("family %q still owned by removed worker", f)
+		}
+	}
+	if rendezvousOwner("", workers) != "" {
+		t.Error("empty family has an owner")
+	}
+	if rendezvousOwner("fam", nil) != "" {
+		t.Error("empty worker set has an owner")
+	}
+}

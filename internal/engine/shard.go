@@ -228,19 +228,26 @@ func (s *ShardExecutor) runRange(ctx context.Context, worker string, cells []Cel
 	_ = s.LocalFallback.Execute(ctx, len(cells), func(j int) { record(solve(base + j)) })
 }
 
-// dispatch ships one spec range to a worker and validates the response
-// shape: a result per cell, keys matching in order. Any transport error,
-// non-200 status, timeout or malformed response makes the range fall back.
+// dispatch ships one spec range to a worker. Any transport error, non-200
+// status, timeout or malformed response makes the range fall back.
 func (s *ShardExecutor) dispatch(ctx context.Context, worker string, cells []Cell) ([]WireCellResult, error) {
 	specs := make([]CellSpec, len(cells))
 	for i, c := range cells {
 		specs[i] = c.Spec
 	}
+	return postCellRange(ctx, s.Client, worker, specs, s.RequestTimeout)
+}
+
+// postCellRange ships one spec range to a worker's /v1/cells/execute and
+// validates the response shape: a result per cell, keys matching in order —
+// the sender half of the shard protocol, shared by the ShardExecutor and the
+// Dispatcher. A timeout <= 0 selects 10 minutes (a range is many full
+// period-selection solves); a nil client selects http.DefaultClient.
+func postCellRange(ctx context.Context, client *http.Client, worker string, specs []CellSpec, timeout time.Duration) ([]WireCellResult, error) {
 	body, err := json.Marshal(ExecuteCellsRequest{Cells: specs})
 	if err != nil {
 		return nil, err
 	}
-	timeout := s.RequestTimeout
 	if timeout <= 0 {
 		timeout = 10 * time.Minute
 	}
@@ -252,7 +259,6 @@ func (s *ShardExecutor) dispatch(ctx context.Context, worker string, cells []Cel
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	client := s.Client
 	if client == nil {
 		client = http.DefaultClient
 	}

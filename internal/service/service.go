@@ -7,19 +7,25 @@
 //
 // Every spgserve process exposes the same surface, so any instance can play
 // either cluster role: a worker answers /v1/cells/execute (spec ranges in,
-// wire results out, solved on the local pool against the shared cache), and
-// a coordinator shards /v1/campaign submissions across a worker list through
-// the engine's ShardExecutor — falling back to local execution when workers
-// fail, with bit-identical results either way.
+// wire results out, solved on the local pool against the shared cache) and
+// self-registers with its coordinator via POST /v1/workers, and a
+// coordinator schedules /v1/campaign submissions across its worker registry
+// through the engine's work-stealing Dispatcher — health-probed workers pull
+// family-affine chunks, failed chunks re-dispatch to other workers before
+// any local fallback, with bit-identical results every way.
 //
 // Endpoints (see cmd/spgserve/README.md for curl examples):
 //
-//	GET    /v1/healthz          liveness plus campaign-cache statistics
+//	GET    /v1/healthz          liveness, cache statistics, worker registry
+//	                            and dispatcher counters
 //	POST   /v1/map              map one workload (the period-selection protocol)
 //	POST   /v1/campaign         submit a campaign; answers 202 with an id
 //	GET    /v1/campaign/{id}    poll status, progress and (when done) result
 //	DELETE /v1/campaign/{id}    cancel a running campaign / drop a finished one
 //	POST   /v1/cells/execute    worker endpoint: solve a range of cell specs
+//	POST   /v1/workers          register a worker (self-registration)
+//	GET    /v1/workers          list registered workers and health states
+//	DELETE /v1/workers          deregister a worker
 package service
 
 import (
@@ -46,8 +52,22 @@ type Config struct {
 	// nil selects experiments.DefaultAnalysisCache().
 	Cache *engine.AnalysisCache
 	// Executor runs campaign cells; nil selects an engine.PoolExecutor at
-	// GOMAXPROCS.
+	// GOMAXPROCS. When the worker registry is non-empty at submission time,
+	// campaigns run through a per-job clone of the cluster dispatcher
+	// instead.
 	Executor engine.Executor
+	// Registry tracks this process's shard workers (seeds from -worker
+	// flags plus POST /v1/workers self-registrations). nil creates an empty
+	// registry, so any instance can be promoted to coordinator at runtime
+	// by registering workers; the caller owns probing (Start/Stop).
+	Registry *engine.WorkerRegistry
+	// ChunkCells is the dispatcher's chunk size for registry-scheduled
+	// campaigns (0 selects engine.DefaultChunkCells).
+	ChunkCells int
+	// OnFallback, when set, observes every dispatched chunk that fell back
+	// to the local pool (cmd/spgserve logs them; counters alone lose the
+	// triggering errors).
+	OnFallback func(start, end int, err error)
 	// MaxGrid bounds the accepted CMP dimensions (default 16 per side).
 	MaxGrid int
 	// MaxCampaignCells rejects campaign submissions larger than this
@@ -81,7 +101,10 @@ type Server struct {
 	exec        engine.Executor
 	local       engine.Executor     // worker-endpoint executor, always in-process
 	pool        engine.PoolExecutor // pool config for per-request shard fallbacks
-	rangeSem    chan struct{}       // bounds concurrent /v1/cells/execute ranges
+	registry    *engine.WorkerRegistry
+	disp        *engine.Dispatcher       // prototype, cloned per registry-scheduled job
+	dispTotals  *engine.DispatcherTotals // process-lifetime scheduling counters
+	rangeSem    chan struct{}            // bounds concurrent /v1/cells/execute ranges
 	maxGrid     int
 	maxCells    int
 	maxActive   int
@@ -98,11 +121,13 @@ type Server struct {
 // job tracks one asynchronous campaign from submission to completion.
 type job struct {
 	id     string
+	seq    int // submission order, the retention tie-break for equal finish times
 	kind   string
 	total  int
 	done   atomic.Int64
 	cancel context.CancelFunc
-	shard  *engine.ShardExecutor // non-nil when the job runs sharded
+	shard  *engine.ShardExecutor // non-nil when the job runs on the legacy static sharder
+	disp   *engine.Dispatcher    // non-nil when the job runs on the cluster dispatcher
 
 	// finishedAt is set (under Server.mu) when the campaign stops running;
 	// retention reads it under the same lock.
@@ -143,11 +168,14 @@ func New(cfg Config) *Server {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = engine.NewWorkerRegistry(engine.RegistryConfig{})
+	}
 	// The worker endpoint always solves on an in-process pool: handing it a
-	// sharding executor would bounce a received range straight back onto the
-	// cluster (at worst, onto this very process). The pool keeps the
+	// distributing executor would bounce a received range straight back onto
+	// the cluster (at worst, onto this very process). The pool keeps the
 	// operator's worker-count configuration — a coordinator's comes from its
-	// ShardExecutor's LocalFallback — so no path silently escalates to
+	// dispatcher's LocalFallback — so no path silently escalates to
 	// GOMAXPROCS.
 	var pool engine.PoolExecutor
 	local := cfg.Executor
@@ -157,14 +185,27 @@ func New(cfg Config) *Server {
 	case *engine.ShardExecutor:
 		pool = ex.LocalFallback
 		local = &pool
+	case *engine.Dispatcher:
+		pool = ex.LocalFallback
+		local = &pool
 	case engine.CampaignExecutor:
 		local = &pool
 	}
+	totals := &engine.DispatcherTotals{}
 	return &Server{
-		cache:       cfg.Cache,
-		exec:        cfg.Executor,
-		local:       local,
-		pool:        pool,
+		cache:    cfg.Cache,
+		exec:     cfg.Executor,
+		local:    local,
+		pool:     pool,
+		registry: cfg.Registry,
+		disp: &engine.Dispatcher{
+			Registry:      cfg.Registry,
+			ChunkCells:    cfg.ChunkCells,
+			LocalFallback: pool,
+			OnFallback:    cfg.OnFallback,
+			Totals:        totals,
+		},
+		dispTotals:  totals,
 		rangeSem:    make(chan struct{}, cfg.MaxActiveRanges),
 		maxGrid:     cfg.MaxGrid,
 		maxCells:    cfg.MaxCampaignCells,
@@ -185,6 +226,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaign/{id}", s.handleCampaignStatus)
 	mux.HandleFunc("DELETE /v1/campaign/{id}", s.handleCampaignDelete)
 	mux.HandleFunc("POST /v1/cells/execute", s.handleCellsExecute)
+	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+	mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
+	mux.HandleFunc("DELETE /v1/workers", s.handleWorkerDeregister)
 	return mux
 }
 
@@ -197,6 +241,20 @@ type errorResponse struct {
 type healthzResponse struct {
 	Status string            `json:"status"`
 	Cache  engine.CacheStats `json:"cache"`
+	// Workers is the worker registry's health snapshot (coordinators only).
+	Workers []engine.WorkerInfo `json:"workers,omitempty"`
+	// Dispatcher aggregates cluster-scheduling counters across every
+	// campaign this process has coordinated.
+	Dispatcher *engine.DispatcherStats `json:"dispatcher,omitempty"`
+}
+
+// workerRequest names one worker for POST/DELETE /v1/workers.
+type workerRequest struct {
+	URL string `json:"url"`
+}
+
+type workersResponse struct {
+	Workers []engine.WorkerInfo `json:"workers"`
 }
 
 // workloadRef names one workload in a /v1/map request: exactly one of
@@ -240,11 +298,15 @@ type mapResponse struct {
 type campaignRequest struct {
 	StreamIt *streamItCampaignRequest `json:"streamit,omitempty"`
 	Random   *randomCampaignRequest   `json:"random,omitempty"`
-	// Workers optionally shards the campaign across remote spgserve worker
-	// processes (base URLs); empty runs on this process's executor. Shards
-	// is the number of cell ranges to partition into (0 = one per worker).
-	Workers []string `json:"workers,omitempty"`
-	Shards  int      `json:"shards,omitempty"`
+	// Workers optionally schedules the campaign across an explicit worker
+	// list (base URLs) through an ephemeral dispatcher, ignoring the
+	// process registry; empty uses the registry (when it has workers) or
+	// this process's executor. ChunkCells overrides the dispatcher chunk
+	// size for this campaign; the legacy Shards field is honored as "split
+	// into this many chunks".
+	Workers    []string `json:"workers,omitempty"`
+	Shards     int      `json:"shards,omitempty"`
+	ChunkCells int      `json:"chunk_cells,omitempty"`
 }
 
 type streamItCampaignRequest struct {
@@ -277,8 +339,21 @@ type campaignStatusResponse struct {
 	Status string `json:"status"`
 	Done   int64  `json:"done"`
 	Total  int    `json:"total"`
-	// Fallbacks counts shard ranges re-executed locally after a worker
-	// failure (sharded jobs only; bit-identical results either way).
+	// Redispatches counts chunks that failed on one worker and were served
+	// by a different one — recovered inside the cluster, not locally.
+	Redispatches int64 `json:"redispatches,omitempty"`
+	// LocalFallbacks counts chunks (dispatcher jobs) or ranges (legacy
+	// static-shard jobs) re-executed on the coordinator's local pool after
+	// every healthy worker failed them. Bit-identical results either way.
+	LocalFallbacks int64 `json:"local_fallbacks,omitempty"`
+	// Steals counts chunks served by a worker other than their
+	// cache-affinity owner (idle workers evening out load).
+	Steals int64 `json:"steals,omitempty"`
+	// WorkerChunks attributes this campaign's chunks to the workers that
+	// served them.
+	WorkerChunks map[string]int64 `json:"worker_chunks,omitempty"`
+	// Fallbacks is the deprecated alias of LocalFallbacks, kept for
+	// pre-scheduler clients.
 	Fallbacks int64  `json:"fallbacks,omitempty"`
 	Result    any    `json:"result,omitempty"`
 	Error     string `json:"error,omitempty"`
@@ -299,7 +374,51 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok", Cache: s.cache.Stats()})
+	resp := healthzResponse{Status: "ok", Cache: s.cache.Stats()}
+	resp.Workers = s.registry.Workers()
+	if st := s.dispTotals.Stats(); st.Chunks > 0 || len(resp.Workers) > 0 {
+		resp.Dispatcher = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWorkerRegister adds a worker to the registry — how workers started
+// with -register-with announce themselves, and how an operator promotes any
+// running instance to coordinator. Registration is idempotent (workers
+// re-announce every probe interval as a keep-alive) and revives dead
+// entries, so a restarted worker rejoins ahead of the next health probe.
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req workerRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if err := s.registry.Register(req.URL); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, workersResponse{Workers: s.registry.Workers()})
+}
+
+func (s *Server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, workersResponse{Workers: s.registry.Workers()})
+}
+
+func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
+	var req workerRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if !s.registry.Deregister(req.URL) {
+		writeError(w, http.StatusNotFound, "unknown worker %q", req.URL)
+		return
+	}
+	writeJSON(w, http.StatusOK, workersResponse{Workers: s.registry.Workers()})
 }
 
 func (s *Server) checkGrid(p, q int) error {
@@ -527,24 +646,57 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request: campaign has %d cells, limit %d", len(cells), s.maxCells)
 		return
 	}
-	if req.Shards < 0 || (req.Shards > 0 && len(req.Workers) == 0) {
+	if req.Shards < 0 || req.ChunkCells < 0 {
+		writeError(w, http.StatusBadRequest, "bad request: shards=%d chunk_cells=%d must not be negative", req.Shards, req.ChunkCells)
+		return
+	}
+	if req.Shards > 0 && len(req.Workers) == 0 && s.registry.Len() == 0 {
 		writeError(w, http.StatusBadRequest, "bad request: shards=%d needs a non-empty worker list", req.Shards)
 		return
 	}
+	// The dispatcher chunk size for this job: an explicit chunk_cells wins;
+	// the legacy shards field translates to "split into that many chunks".
+	chunk := req.ChunkCells
+	if chunk == 0 && req.Shards > 0 {
+		chunk = (len(cells) + req.Shards - 1) / req.Shards
+	}
 	ex := s.exec
 	var shard *engine.ShardExecutor
+	var disp *engine.Dispatcher
 	switch {
 	case len(req.Workers) > 0:
-		shard = &engine.ShardExecutor{Workers: req.Workers, Shards: req.Shards, LocalFallback: s.pool}
-		ex = shard
+		// An explicit worker list runs on an ephemeral registry: no probing,
+		// health learned from dispatch outcomes alone, discarded with the job.
+		reg := engine.NewWorkerRegistry(engine.RegistryConfig{})
+		for _, u := range req.Workers {
+			if err := reg.Register(u); err != nil {
+				writeError(w, http.StatusBadRequest, "bad request: %v", err)
+				return
+			}
+		}
+		disp = s.disp.Clone()
+		disp.Registry = reg
+	case s.registry.Len() > 0:
+		// Registry-scheduled: a per-job clone of the cluster dispatcher, so
+		// the job's status reports its own counters while the shared Totals
+		// keep the process-lifetime view for /v1/healthz.
+		disp = s.disp.Clone()
 	default:
-		// A coordinator configured with a process-wide ShardExecutor (the
-		// -worker flags) runs each job on a fresh clone, so the job's status
-		// reports its own fallback count rather than a process-lifetime one.
-		if se, ok := s.exec.(*engine.ShardExecutor); ok {
-			shard = se.Clone()
+		switch e := s.exec.(type) {
+		case *engine.Dispatcher:
+			disp = e.Clone()
+		case *engine.ShardExecutor:
+			// Legacy static sharder: each job still runs on a fresh clone so
+			// its fallback count is per-campaign.
+			shard = e.Clone()
 			ex = shard
 		}
+	}
+	if disp != nil {
+		if chunk > 0 {
+			disp.ChunkCells = chunk
+		}
+		ex = disp
 	}
 
 	s.mu.Lock()
@@ -557,7 +709,7 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.running++
 	s.nextID++
-	j := &job{id: fmt.Sprintf("c%d", s.nextID), kind: kind, total: len(cells), status: "running", cancel: cancel, shard: shard}
+	j := &job{id: fmt.Sprintf("c%d", s.nextID), seq: s.nextID, kind: kind, total: len(cells), status: "running", cancel: cancel, shard: shard, disp: disp}
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
@@ -620,7 +772,14 @@ func (s *Server) pruneJobsLocked() {
 		finished = append(finished, j)
 	}
 	if s.maxFinished > 0 && len(finished) > s.maxFinished {
-		sort.Slice(finished, func(i, k int) bool { return finished[i].finishedAt.Before(finished[k].finishedAt) })
+		sort.Slice(finished, func(i, k int) bool {
+			if !finished[i].finishedAt.Equal(finished[k].finishedAt) {
+				return finished[i].finishedAt.Before(finished[k].finishedAt)
+			}
+			// Equal finish times (coarse or injected clocks): evict the
+			// earlier submission, deterministically.
+			return finished[i].seq < finished[k].seq
+		})
 		for _, j := range finished[:len(finished)-s.maxFinished] {
 			delete(s.jobs, j.id)
 		}
@@ -648,7 +807,15 @@ func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
 		Error:  j.errMsg,
 	}
 	j.mu.Unlock()
-	if j.shard != nil {
+	if j.disp != nil {
+		st := j.disp.Stats()
+		resp.Redispatches = st.Redispatches
+		resp.LocalFallbacks = st.LocalFallbacks
+		resp.Steals = st.Steals
+		resp.WorkerChunks = st.WorkerChunks
+		resp.Fallbacks = st.LocalFallbacks
+	} else if j.shard != nil {
+		resp.LocalFallbacks = j.shard.Fallbacks()
 		resp.Fallbacks = j.shard.Fallbacks()
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -3,10 +3,12 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -477,9 +479,12 @@ func TestCellsExecuteEndpoint(t *testing.T) {
 }
 
 // TestCampaignSharded: a campaign submitted with a worker list runs through
-// the ShardExecutor against real worker processes (here: a second service
-// instance sharing the cache) and reduces bit-identically to the local run;
-// a broken worker only raises the fallback counter.
+// the cluster dispatcher against real worker processes (here: a second
+// service instance sharing the cache) and reduces bit-identically to the
+// local run. A broken worker raises the redispatch counter — its chunks are
+// served by the surviving worker — while local fallbacks stay zero as long
+// as one healthy worker remains; only an all-broken worker list falls back
+// locally.
 func TestCampaignSharded(t *testing.T) {
 	ts, cache := newTestServer(t)
 	workerSrv := New(Config{Cache: cache, MaxCampaignCells: 64})
@@ -525,20 +530,242 @@ func TestCampaignSharded(t *testing.T) {
 			t.Errorf("%s result diverged from local run", name)
 		}
 	}
-	if sharded.Fallbacks != 0 {
-		t.Errorf("healthy shard run reported %d fallbacks", sharded.Fallbacks)
+	if sharded.LocalFallbacks != 0 || sharded.Redispatches != 0 {
+		t.Errorf("healthy run reported %d local fallbacks, %d redispatches",
+			sharded.LocalFallbacks, sharded.Redispatches)
 	}
-	if degraded.Fallbacks == 0 {
-		t.Error("degraded shard run reported no fallbacks")
+	if len(sharded.WorkerChunks) == 0 || sharded.WorkerChunks[worker.URL] == 0 {
+		t.Errorf("healthy run attributed no chunks to the worker: %v", sharded.WorkerChunks)
 	}
-	if st := run(`,"workers":["` + broken.URL + `"]`); st.Fallbacks == 0 {
-		t.Error("all-broken shard run reported no fallbacks")
+	// The broken worker's chunks must be re-dispatched to the healthy one,
+	// never to the coordinator's pool: that is the counter distinction.
+	if degraded.Redispatches == 0 {
+		t.Error("degraded run reported no redispatches")
+	}
+	if degraded.LocalFallbacks != 0 || degraded.Fallbacks != 0 {
+		t.Errorf("degraded run fell back locally (%d) despite a healthy worker", degraded.LocalFallbacks)
+	}
+	if st := run(`,"workers":["` + broken.URL + `"]`); st.LocalFallbacks == 0 || st.Fallbacks != st.LocalFallbacks {
+		t.Errorf("all-broken run reported local_fallbacks=%d fallbacks=%d, want equal and non-zero",
+			st.LocalFallbacks, st.Fallbacks)
+	} else if st.Redispatches != 0 {
+		t.Errorf("all-broken run reported %d redispatches with no worker to re-dispatch to", st.Redispatches)
 	}
 
 	resp, data := postJSON(t, ts.URL+"/v1/campaign",
 		`{"streamit":{"p":2,"q":2,"apps":["DCT"],"seed":3},"shards":2}`)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("shards without workers: %d, want 400 (%s)", resp.StatusCode, data)
+	}
+}
+
+// TestWorkerEndpoints: workers self-register over POST /v1/workers
+// (idempotently, with URL validation), appear in GET /v1/workers and the
+// healthz snapshot, and leave via DELETE /v1/workers.
+func TestWorkerEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	workerSrv := New(Config{Cache: engine.NewAnalysisCache(8)})
+	worker := httptest.NewServer(workerSrv.Handler())
+	t.Cleanup(worker.Close)
+
+	resp, data := postJSON(t, ts.URL+"/v1/workers", `{"url":"`+worker.URL+`"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d (%s)", resp.StatusCode, data)
+	}
+	var wl workersResponse
+	if err := json.Unmarshal(data, &wl); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Workers) != 1 || wl.Workers[0].URL != worker.URL || wl.Workers[0].State != engine.WorkerHealthy {
+		t.Fatalf("registered list %+v", wl.Workers)
+	}
+	// Idempotent re-registration (the keep-alive path).
+	if resp, _ := postJSON(t, ts.URL+"/v1/workers", `{"url":"`+worker.URL+`"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-register: %d", resp.StatusCode)
+	}
+	var listed workersResponse
+	if code := getJSON(t, ts.URL+"/v1/workers", &listed); code != http.StatusOK || len(listed.Workers) != 1 {
+		t.Fatalf("list: %d, %+v", code, listed.Workers)
+	}
+	var hz healthzResponse
+	if code := getJSON(t, ts.URL+"/v1/healthz", &hz); code != http.StatusOK || len(hz.Workers) != 1 {
+		t.Fatalf("healthz workers: %d, %+v", code, hz.Workers)
+	}
+	if hz.Dispatcher == nil {
+		t.Error("healthz of a coordinator lacks dispatcher stats")
+	}
+
+	for _, bad := range []string{`{"url":`, `{"url":""}`, `{"url":"not-a-url"}`, `{"url":"ftp://x"}`} {
+		if resp, _ := postJSON(t, ts.URL+"/v1/workers", bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("register %q: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	del := func(body string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/workers", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del(`{"url":"` + worker.URL + `"}`); code != http.StatusOK {
+		t.Fatalf("deregister: %d", code)
+	}
+	if code := del(`{"url":"` + worker.URL + `"}`); code != http.StatusNotFound {
+		t.Errorf("double deregister: %d, want 404", code)
+	}
+}
+
+// TestCampaignViaRegistry: registering a worker promotes the instance to
+// coordinator — campaigns submitted without any worker list are scheduled
+// through the cluster dispatcher, reduce bit-identically to a local run,
+// attribute their chunks to the worker, and feed the process-lifetime
+// dispatcher counters in /v1/healthz.
+func TestCampaignViaRegistry(t *testing.T) {
+	ts, _ := newTestServer(t)
+	workerSrv := New(Config{Cache: engine.NewAnalysisCache(8)})
+	worker := httptest.NewServer(workerSrv.Handler())
+	t.Cleanup(worker.Close)
+
+	body := `{"streamit":{"p":2,"q":2,"apps":["DCT"],"seed":5}}`
+	submit := func() campaignStatusResponse {
+		t.Helper()
+		resp, data := postJSON(t, ts.URL+"/v1/campaign", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d (%s)", resp.StatusCode, data)
+		}
+		var sub campaignSubmitResponse
+		if err := json.Unmarshal(data, &sub); err != nil {
+			t.Fatal(err)
+		}
+		st := waitForCampaign(t, ts.URL+sub.StatusURL)
+		if st.Status != "done" {
+			t.Fatalf("campaign ended %q: %s", st.Status, st.Error)
+		}
+		return st
+	}
+	local := submit() // registry still empty: runs on the local executor
+	if len(local.WorkerChunks) != 0 {
+		t.Fatalf("local run attributed chunks to workers: %v", local.WorkerChunks)
+	}
+
+	if resp, data := postJSON(t, ts.URL+"/v1/workers", `{"url":"`+worker.URL+`"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d (%s)", resp.StatusCode, data)
+	}
+	scheduled := submit()
+	if scheduled.WorkerChunks[worker.URL] == 0 {
+		t.Errorf("registry-scheduled run attributed no chunks to the worker: %+v", scheduled.WorkerChunks)
+	}
+	if scheduled.LocalFallbacks != 0 {
+		t.Errorf("registry-scheduled run fell back locally %d times", scheduled.LocalFallbacks)
+	}
+	lj, _ := json.Marshal(local.Result)
+	sj, _ := json.Marshal(scheduled.Result)
+	if string(lj) != string(sj) {
+		t.Error("registry-scheduled result diverged from local run")
+	}
+	var hz healthzResponse
+	if code := getJSON(t, ts.URL+"/v1/healthz", &hz); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if hz.Dispatcher == nil || hz.Dispatcher.Chunks == 0 || hz.Dispatcher.WorkerChunks[worker.URL] == 0 {
+		t.Errorf("healthz dispatcher totals %+v missed the scheduled campaign", hz.Dispatcher)
+	}
+}
+
+// parkedExecutor announces each run and then parks until its context dies,
+// reporting the error it unblocked with — a worker-side probe that a
+// coordinator's DELETE really cancels in-flight /v1/cells/execute work.
+type parkedExecutor struct {
+	started   chan struct{}
+	unblocked chan error
+}
+
+func (p *parkedExecutor) Execute(ctx context.Context, n int, run func(i int)) error {
+	p.started <- struct{}{}
+	<-ctx.Done()
+	p.unblocked <- ctx.Err()
+	return ctx.Err()
+}
+
+// TestCampaignCancelMidDispatch: DELETE on a dispatched campaign propagates
+// through the coordinator's context into the in-flight /v1/cells/execute
+// request, so the worker's solver stops promptly; the job settles at
+// "cancelled" with no local fallbacks and no leaked scheduling goroutines.
+func TestCampaignCancelMidDispatch(t *testing.T) {
+	ts, _ := newTestServer(t)
+	parked := &parkedExecutor{started: make(chan struct{}, 4), unblocked: make(chan error, 4)}
+	workerSrv := New(Config{Cache: engine.NewAnalysisCache(8), Executor: parked})
+	worker := httptest.NewServer(workerSrv.Handler())
+	t.Cleanup(worker.Close)
+
+	baseline := runtime.NumGoroutine()
+	resp, data := postJSON(t, ts.URL+"/v1/campaign",
+		`{"streamit":{"p":2,"q":2,"apps":["DCT"],"seed":2},"workers":["`+worker.URL+`"],"chunk_cells":4}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d (%s)", resp.StatusCode, data)
+	}
+	var sub campaignSubmitResponse
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-parked.started: // the chunk is now in flight on the worker
+	case <-time.After(10 * time.Second):
+		t.Fatal("chunk never reached the worker")
+	}
+
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+sub.StatusURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel answered %d", dresp.StatusCode)
+	}
+
+	// Context propagation: the worker's in-flight solve must unblock with a
+	// cancellation, promptly, without waiting out any request timeout.
+	select {
+	case err := <-parked.unblocked:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("worker solve unblocked with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker solve kept running after DELETE")
+	}
+	st := waitForCampaign(t, ts.URL+sub.StatusURL)
+	if st.Status != "cancelled" {
+		t.Fatalf("campaign ended %q", st.Status)
+	}
+	if st.LocalFallbacks != 0 {
+		t.Errorf("cancellation triggered %d local fallbacks", st.LocalFallbacks)
+	}
+
+	// No leaked scheduling goroutines: worker pull loops, the supervisor and
+	// the campaign runner must all have exited.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancellation: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 
