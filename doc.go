@@ -142,6 +142,17 @@
 // tests prove bit-identical energies for every (app, CCR, period, heuristic)
 // cell with and without each layer.
 //
+// # Machine-checked invariants
+//
+// Three of the properties above — campaigns are deterministic, results cross
+// the wire losslessly, shared state is lock-disciplined — are invariants the
+// type system cannot see. internal/lint machine-checks them: five custom
+// analyzers (detrange, wirecodec, memoalias, lockguard, ctxflow) compiled
+// into cmd/spglint and run over ./... as a required CI job. Deliberate
+// exceptions carry a //spglint:ignore annotation with a written reason; see
+// internal/lint/doc.go for the invariant catalog and README.md for how to
+// run the suite locally.
+//
 // Executables: cmd/spgmap (map one workload), cmd/experiments (regenerate
 // every table and figure), cmd/spgserve (the HTTP mapping service; see
 // cmd/spgserve/README.md for curl examples), cmd/spggen (emit workloads),

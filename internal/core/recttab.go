@@ -117,6 +117,7 @@ func (rc *rectCache) MemoryFootprint() int64 {
 	rc.mu.Lock()
 	var b int64
 	sigs := make([]*sigTables, 0, len(rc.sigs))
+	//spglint:ignore detrange collects map values for a commutative sum; iteration order never reaches the result
 	for sig, st := range rc.sigs {
 		b += int64(len(sig)) + auxMapEntryBytes
 		sigs = append(sigs, st)

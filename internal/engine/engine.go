@@ -99,6 +99,7 @@ type Campaign struct {
 // with the unstarted cells zero-valued (Key empty).
 func Run(ctx context.Context, ex Executor, c Campaign) ([]CellResult, error) {
 	if ctx == nil {
+		//spglint:ignore ctxflow nil-ctx compatibility default for library callers; request paths always pass a real context
 		ctx = context.Background()
 	}
 	if ex == nil {

@@ -103,8 +103,8 @@ type WorkerRegistry struct {
 	cfg RegistryConfig
 
 	mu      sync.Mutex
-	workers map[string]*workerEntry
-	stop    chan struct{}
+	workers map[string]*workerEntry // guarded by mu
+	stop    chan struct{}           // guarded by mu; non-nil while the probe loop runs
 }
 
 type workerEntry struct {
@@ -365,6 +365,7 @@ func (r *WorkerRegistry) Start() {
 			case <-stop:
 				return
 			case <-ticker.C:
+				//spglint:ignore ctxflow probes are registry-lifecycle, not request-scoped; the loop is stopped via Stop
 				r.Probe(context.Background())
 			}
 		}

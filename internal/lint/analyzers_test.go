@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"spgcmp/internal/lint"
+	"spgcmp/internal/lint/linttest"
+)
+
+func TestDetrange(t *testing.T)  { linttest.Run(t, "detrange", lint.Detrange) }
+func TestWirecodec(t *testing.T) { linttest.Run(t, "wirecodec", lint.Wirecodec) }
+func TestMemoalias(t *testing.T) { linttest.Run(t, "memoalias", lint.Memoalias) }
+func TestLockguard(t *testing.T) { linttest.Run(t, "lockguard", lint.Lockguard) }
+func TestCtxflow(t *testing.T)   { linttest.Run(t, "ctxflow", lint.Ctxflow) }
+
+// TestEngineMirror runs the relevant analyzers together over a fixture
+// distilled from real internal/engine code (the WorkerRegistry probe/health
+// machinery and the AnalysisCache keys/stats walks), with one seeded
+// violation per invariant.
+func TestEngineMirror(t *testing.T) {
+	linttest.Run(t, "enginemirror", lint.Detrange, lint.Lockguard, lint.Ctxflow)
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Detrange flags `for range` over maps where the nondeterministic iteration
+// order can escape into an order-sensitive sink: float accumulation (float
+// addition does not commute in round-off), slice appends (the slice records
+// the visit order), hashing / stream writes, or wire output. The sorted-keys
+// idiom is recognized: appending to a slice that is passed to a sort or
+// slices call later in the same function is deterministic and exempt.
+//
+// Results proven bit-identical across worker counts and cache states are
+// this repo's core guarantee; every sink below is a way a map's order could
+// leak into them.
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc: "flag map iteration whose nondeterministic order escapes into float accumulation, " +
+		"slice appends (unless sorted afterwards), hashing, or wire output",
+	Packages: []string{
+		"spgcmp/internal/core",
+		"spgcmp/internal/spg",
+		"spgcmp/internal/engine",
+	},
+	Run: runDetrange,
+}
+
+// writeSinkMethods are method names treated as order-sensitive stream/hash
+// sinks when called inside a map-range body.
+var writeSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Sum": true, "Sum32": true, "Sum64": true, "Encode": true,
+}
+
+func runDetrange(pass *Pass) error {
+	for _, file := range pass.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			_, body := enclosingFunc(stack)
+			for _, reason := range detrangeSinks(pass, rs, body) {
+				pass.Reportf(rs.Pos(), "map iteration order escapes into %s; iterate sorted keys instead", reason)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// detrangeSinks classifies the order-sensitive escapes of one map range.
+// funcBody is the innermost enclosing function body, used to recognize the
+// sorted-keys idiom (sort call after the loop).
+func detrangeSinks(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) []string {
+	info := pass.TypesInfo
+	var reasons []string
+	// appendTargets maps a loop-external slice variable receiving appends to
+	// the expression text reported if it is never sorted.
+	appendTargets := make(map[types.Object]string)
+	declaredOutside := func(e ast.Expr) types.Object {
+		obj := identObj(info, e)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return nil
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			return nil // loop-local: rebuilt every iteration, order cannot accumulate
+		}
+		return obj
+	}
+	isFloat := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			switch stmt.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if isFloat(stmt.Lhs[0]) && !perKeyIndexed(info, rs, stmt.Lhs[0]) {
+					reasons = append(reasons, "float accumulation ("+types.ExprString(stmt.Lhs[0])+")")
+				}
+			case token.ASSIGN, token.DEFINE:
+				for i, rhs := range stmt.Rhs {
+					if i >= len(stmt.Lhs) {
+						break
+					}
+					// s = s + v with float s: accumulation spelled out.
+					if bin, ok := rhs.(*ast.BinaryExpr); ok && isFloat(stmt.Lhs[i]) {
+						if obj := declaredOutside(stmt.Lhs[i]); obj != nil &&
+							(exprMentions(info, bin, obj) && (bin.Op == token.ADD || bin.Op == token.SUB || bin.Op == token.MUL || bin.Op == token.QUO)) {
+							reasons = append(reasons, "float accumulation ("+types.ExprString(stmt.Lhs[i])+")")
+						}
+					}
+					// s = append(s, ...) onto a slice that outlives the loop.
+					if call, ok := rhs.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+							if obj := declaredOutside(stmt.Lhs[i]); obj != nil {
+								appendTargets[obj] = types.ExprString(stmt.Lhs[i])
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := stmt.Fun.(*ast.SelectorExpr); ok {
+				switch {
+				case pkgNameOf(info, sel.X, "fmt") && strings.HasPrefix(sel.Sel.Name, "Fprint"):
+					reasons = append(reasons, "ordered stream write (fmt."+sel.Sel.Name+")")
+				case pkgNameOf(info, sel.X, "encoding/json"):
+					reasons = append(reasons, "wire output (json."+sel.Sel.Name+")")
+				case writeSinkMethods[sel.Sel.Name] && info.Selections[sel] != nil:
+					reasons = append(reasons, "order-dependent write/hash ("+types.ExprString(sel)+")")
+				}
+			}
+		}
+		return true
+	})
+	for obj, name := range appendTargets {
+		if !sortedAfter(info, funcBody, rs, obj) {
+			reasons = append(reasons, "slice append ("+name+") never sorted afterwards")
+		}
+	}
+	return reasons
+}
+
+// perKeyIndexed reports whether lhs is an index expression keyed by the
+// range's own key variable: `acc[k] += v` inside `for k, v := range m`
+// touches each accumulator entry exactly once per distinct key, so the
+// visit order cannot reach the result.
+func perKeyIndexed(info *types.Info, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	keyObj := identObj(info, rs.Key)
+	return keyObj != nil && exprMentions(info, idx.Index, keyObj)
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.* call
+// positioned after the range statement in the enclosing function body — the
+// tail half of the sorted-keys idiom.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if funcBody == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || sorted {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !pkgNameOf(info, sel.X, "sort") && !pkgNameOf(info, sel.X, "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(info, arg, obj) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

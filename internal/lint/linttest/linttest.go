@@ -1,0 +1,145 @@
+// Package linttest is the golden-fixture harness for the spglint analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library alone. A fixture is one package under testdata/src/<name>; every
+// expected finding is declared inline with a trailing comment:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Each `want` comment holds one or more back-quoted or double-quoted
+// regular expressions, all of which must match findings reported on that
+// line. Findings with no matching expectation, and expectations with no
+// matching finding, fail the test. Suppressed findings (//spglint:ignore)
+// are treated as absent — a fixture line carrying a valid directive and no
+// want comment asserts the suppression works.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"spgcmp/internal/lint"
+)
+
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// expectation is one `// want` declaration in a fixture.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> relative to the calling test's directory,
+// runs the analyzers over it, and compares the diagnostics against the
+// fixture's `// want` comments. The analyzers' package gates are bypassed:
+// fixtures have synthetic import paths.
+func Run(t *testing.T, fixture string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("linttest: fixture %s: %v", fixture, err)
+	}
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg, err := lint.LoadDir(moduleDir, dir)
+	if err != nil {
+		t.Fatalf("linttest: loading fixture %s: %v", fixture, err)
+	}
+	diags, err := lint.Check(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("linttest: checking fixture %s: %v", fixture, err)
+	}
+
+	expectations := collectWants(t, pkg)
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		matched := false
+		for _, e := range expectations {
+			if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.pattern.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, e := range expectations {
+		if !e.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// collectWants parses the fixture's `// want` comments.
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				out = append(out, parseWant(t, pkg, c)...)
+			}
+		}
+	}
+	return out
+}
+
+func parseWant(t *testing.T, pkg *lint.Package, c *ast.Comment) []*expectation {
+	t.Helper()
+	text := strings.TrimPrefix(c.Text, "//")
+	idx := strings.Index(text, "want ")
+	if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*expectation
+	for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+		pat := m[1]
+		if pat == "" {
+			pat = m[2]
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no pattern", pos)
+	}
+	return out
+}
+
+// findModuleRoot walks up from the working directory to the enclosing
+// go.mod, which anchors the `go list` export-data resolution.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

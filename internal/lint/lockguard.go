@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Lockguard checks the `// guarded by mu` field annotations: a field so
+// annotated may only be accessed (read or written) in a function that first
+// locks the named sibling mutex on the same receiver expression — the
+// intra-package lexical heuristic that catches the common slip of touching
+// a guarded map from a new method without taking the lock.
+//
+// The annotation is a field doc or trailing comment containing
+// "guarded by <field>" (case-insensitive), where <field> must resolve to a
+// sibling field of type sync.Mutex or sync.RWMutex — anything else is
+// itself a finding, so stale annotations cannot rot silently.
+//
+// An access is considered locked when the enclosing function body contains
+// a lexically earlier call to <base>.<mutex>.Lock() or .RLock() on the same
+// base expression as the access. Functions whose names end in "Locked"
+// document a caller-held lock and are exempt, as is the method holding the
+// mutex field itself. This is deliberately a heuristic, not a proof: it
+// does not model Unlock, branches, or cross-function lock passing — the
+// race detector covers those; lockguard keeps the annotations honest.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated `// guarded by mu` must only be accessed with the named " +
+		"mutex held (lexical intra-package heuristic; *Locked functions exempt)",
+	Packages: []string{
+		"spgcmp/internal/engine",
+		"spgcmp/internal/service",
+	},
+	Run: runLockguard,
+}
+
+var guardRe = regexp.MustCompile(`(?i)\bguarded by ([A-Za-z_][A-Za-z0-9_]*)\b`)
+
+// guardedField is one annotated (struct, field) pair.
+type guardedField struct {
+	owner *types.Named
+	field string
+	guard string
+}
+
+func runLockguard(pass *Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pass.TypesInfo.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			owner := derefNamed(selection.Recv())
+			if owner == nil {
+				return true
+			}
+			var g *guardedField
+			for i := range guarded {
+				if guarded[i].owner.Obj() == owner.Obj() && guarded[i].field == sel.Sel.Name {
+					g = &guarded[i]
+					break
+				}
+			}
+			if g == nil {
+				return true
+			}
+			// Collect every enclosing function: a lock taken in an outer
+			// method covers accesses in its closures, and a *Locked name
+			// anywhere in the chain documents a caller-held lock.
+			var bodies []*ast.BlockStmt
+			exempt := false
+			for i := len(stack) - 2; i >= 0; i-- {
+				switch f := stack[i].(type) {
+				case *ast.FuncDecl:
+					bodies = append(bodies, f.Body)
+					if strings.HasSuffix(f.Name.Name, "Locked") {
+						exempt = true
+					}
+				case *ast.FuncLit:
+					bodies = append(bodies, f.Body)
+				}
+			}
+			if exempt || len(bodies) == 0 {
+				return true // caller-held lock, or package-level composite literal
+			}
+			held := false
+			for _, body := range bodies {
+				if lockHeldBefore(pass.TypesInfo, body, sel, g.guard) {
+					held = true
+					break
+				}
+			}
+			if !held {
+				pass.Reportf(sel.Sel.Pos(), "%s.%s is accessed without %s.%s held (annotated `guarded by %s`)",
+					owner.Obj().Name(), g.field, types.ExprString(sel.X), g.guard, g.guard)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectGuardedFields parses the package's struct declarations for
+// guarded-by annotations, reporting annotations whose guard does not
+// resolve to a sibling mutex field.
+func collectGuardedFields(pass *Pass) []guardedField {
+	var guarded []guardedField
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[ts.Name]
+			if obj == nil {
+				return true
+			}
+			named, ok := types.Unalias(obj.Type()).(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardAnnotation(field)
+				if guard == "" {
+					continue
+				}
+				if !structHasMutexField(st, pass.TypesInfo, guard) {
+					pass.Reportf(field.Pos(), "`guarded by %s` does not name a sibling sync.Mutex/RWMutex field of %s",
+						guard, ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					guarded = append(guarded, guardedField{owner: named, field: name.Name, guard: guard})
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardAnnotation extracts the guard field name from a struct field's doc
+// or trailing comment, or "".
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// structHasMutexField reports whether the struct literally declares a field
+// with the given name of type sync.Mutex or sync.RWMutex.
+func structHasMutexField(st *ast.StructType, info *types.Info, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name != name {
+				continue
+			}
+			t := info.TypeOf(field.Type)
+			named := derefNamed(t)
+			if named == nil || named.Obj().Pkg() == nil {
+				return false
+			}
+			if named.Obj().Pkg().Path() != "sync" {
+				return false
+			}
+			return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+		}
+	}
+	return false
+}
+
+// lockHeldBefore reports whether body contains a call to
+// <base>.<guard>.Lock() or <base>.<guard>.RLock() lexically before the
+// access, where <base> renders to the same expression as the access's base.
+func lockHeldBefore(info *types.Info, body *ast.BlockStmt, access *ast.SelectorExpr, guard string) bool {
+	base := types.ExprString(access.X)
+	want := base + "." + guard
+	held := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= access.Pos() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if types.ExprString(sel.X) == want {
+			held = true
+		}
+		return !held
+	})
+	return held
+}

@@ -1,0 +1,72 @@
+// Package ctxflow exercises the ctxflow analyzer: request-path code must
+// propagate the incoming context.Context.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// mintBackground severs the caller's cancellation chain.
+func mintBackground(workers []string) {
+	ctx := context.Background() // want `context.Background\(\) mints a fresh root context`
+	for _, w := range workers {
+		probe(ctx, w)
+	}
+}
+
+// mintTODO is no better.
+func mintTODO() context.Context {
+	return context.TODO() // want `context.TODO\(\) mints a fresh root context`
+}
+
+// contextlessRequest drops the context on the floor.
+func contextlessRequest(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want `http.NewRequest ignores the incoming context`
+}
+
+// contextlessGet too.
+func contextlessGet(url string) (*http.Response, error) {
+	return http.Get(url) // want `http.Get ignores the incoming context`
+}
+
+// propagated is the blessed pattern end to end.
+func propagated(ctx context.Context, url string, client *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// derived contexts keep the chain intact.
+func derived(ctx context.Context, url string, client *http.Client) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return propagated(ctx, url, client)
+}
+
+// detachedLoop is a deliberate lifecycle root, annotated with its reason.
+func detachedLoop(stop <-chan struct{}, workers []string) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		//spglint:ignore ctxflow fixture: probe loop is process-lifecycle, not request-scoped
+		ctx := context.Background()
+		for _, w := range workers {
+			probe(ctx, w)
+		}
+	}
+}
+
+func probe(ctx context.Context, url string) {
+	_ = ctx
+	_ = url
+}

@@ -1,0 +1,117 @@
+// Package detrange exercises the detrange analyzer: map iteration whose
+// nondeterministic order escapes into an order-sensitive sink.
+package detrange
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// floatAccumulation leaks map order into float round-off.
+func floatAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `float accumulation \(sum\)`
+		sum += v
+	}
+	return sum
+}
+
+// spelledOutAccumulation does the same without a compound operator.
+func spelledOutAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `float accumulation \(sum\)`
+		sum = sum + v
+	}
+	return sum
+}
+
+// unsortedAppend records the visit order in a slice.
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `slice append \(keys\) never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeysIdiom is the blessed pattern: append, sort, then iterate.
+func sortedKeysIdiom(m map[string]float64) float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// hashWrite streams map entries into a hash in visit order.
+func hashWrite(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m { // want `order-dependent write/hash`
+		h.Write([]byte(k))
+	}
+	return h.Sum64()
+}
+
+// streamWrite prints entries in visit order.
+func streamWrite(m map[string]int, b *strings.Builder) {
+	for k, v := range m { // want `ordered stream write \(fmt.Fprintf\)`
+		fmt.Fprintf(b, "%s=%d;", k, v)
+	}
+}
+
+// wireOutput marshals entries in visit order; both the json sink and the
+// collecting append are reported.
+func wireOutput(m map[string]int) [][]byte {
+	var out [][]byte
+	for k := range m { // want `wire output \(json.Marshal\)` `slice append \(out\) never sorted`
+		b, _ := json.Marshal(k)
+		out = append(out, b)
+	}
+	return out
+}
+
+// intCounting is order-insensitive: integer adds commute exactly.
+func intCounting(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// perKeyAccumulation touches each accumulator entry once per distinct key;
+// order cannot reach the result.
+func perKeyAccumulation(m map[string]float64, acc map[string]float64) {
+	for k, v := range m {
+		acc[k] += v
+	}
+}
+
+// loopLocalAppend rebuilds its slice every iteration; nothing accumulates.
+func loopLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// suppressed demonstrates //spglint:ignore on the preceding line.
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	//spglint:ignore detrange fixture: demonstrating a deliberate, documented exemption
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

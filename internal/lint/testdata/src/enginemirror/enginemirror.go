@@ -1,0 +1,147 @@
+// Package enginemirror mirrors real internal/engine patterns — the
+// WorkerRegistry health map and the AnalysisCache keys/stats walks — so the
+// analyzers are proven against the shapes they actually police. The code
+// here is a distilled copy of engine/registry.go and engine/cache.go
+// idioms, with one seeded violation per invariant.
+package enginemirror
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+type workerEntry struct {
+	url      string
+	state    int
+	failures int
+}
+
+// workerRegistry mirrors engine.WorkerRegistry.
+type workerRegistry struct {
+	mu      sync.Mutex
+	workers map[string]*workerEntry // guarded by mu
+	stop    chan struct{}           // guarded by mu
+}
+
+// Healthy mirrors the real registry: snapshot under the lock, sort for
+// deterministic rendezvous routing — the sorted-keys idiom end to end.
+func (r *workerRegistry) Healthy() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, e := range r.workers {
+		if e.state == 0 {
+			out = append(out, e.url)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Probe mirrors the probe sweep: snapshot URLs under the lock, then probe
+// outside it with the caller's context.
+func (r *workerRegistry) Probe(ctx context.Context, client *http.Client) {
+	urls := r.snapshotURLs()
+	for _, u := range urls {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+"/v1/healthz", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		r.noteOutcome(u, err)
+	}
+}
+
+func (r *workerRegistry) snapshotURLs() []string {
+	r.mu.Lock()
+	out := make([]string, 0, len(r.workers))
+	for u := range r.workers {
+		out = append(out, u)
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+func (r *workerRegistry) noteOutcome(url string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.workers[url]
+	if e == nil {
+		return
+	}
+	if err != nil {
+		e.failures++
+	} else {
+		e.failures = 0
+	}
+}
+
+// brokenLen is the seeded lock-discipline violation: a fresh helper
+// touching the guarded map without the mutex.
+func (r *workerRegistry) brokenLen() int {
+	return len(r.workers) // want `workerRegistry.workers is accessed without r.mu held`
+}
+
+// brokenProbe is the seeded context violation: a probe loop helper minting
+// its own root instead of threading the sweep's context through.
+func (r *workerRegistry) brokenProbe(client *http.Client) {
+	r.Probe(context.Background(), client) // want `context.Background\(\) mints a fresh root context`
+}
+
+// analysisCache mirrors engine.AnalysisCache's stats walk.
+type analysisCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry // guarded by mu
+}
+
+type cacheEntry struct {
+	key   string
+	bytes int64
+}
+
+// Keys mirrors AnalysisCache.Keys: collect under the lock, sort after.
+func (c *analysisCache) Keys() []string {
+	c.mu.Lock()
+	var keys []string
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	c.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// footprint mirrors the Stats byte walk: the collected order feeds a
+// commutative sum, documented via suppression exactly as the real code is.
+func (c *analysisCache) footprint() int64 {
+	c.mu.Lock()
+	walk := make([]*cacheEntry, 0, len(c.entries))
+	//spglint:ignore detrange collects map values for a commutative sum; iteration order never reaches the result
+	for _, e := range c.entries {
+		walk = append(walk, e)
+	}
+	c.mu.Unlock()
+	var b int64
+	for _, e := range walk {
+		b += e.bytes
+	}
+	return b
+}
+
+// brokenKeys is the seeded determinism violation: handing out the visit
+// order without sorting.
+func (c *analysisCache) brokenKeys() []string {
+	var keys []string
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.entries { // want `slice append \(keys\) never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}

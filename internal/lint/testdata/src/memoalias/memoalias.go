@@ -1,0 +1,98 @@
+// Package memoalias exercises the memoalias analyzer: copy-on-return for
+// values read out of memo/cache maps.
+package memoalias
+
+import "sort"
+
+type result struct {
+	Chunks [][]int
+	Score  float64
+}
+
+type solverMemo struct {
+	sol     map[string][][]int
+	results map[string]result
+	scores  map[string]float64
+	ptrs    map[string]*result
+}
+
+// direct returns the cached slice itself.
+func (m *solverMemo) direct(key string) [][]int {
+	return m.sol[key] // want `returns m.sol\[key\] straight out of a memo/cache map`
+}
+
+// viaLocal leaks the cached slice through an untouched local.
+func (m *solverMemo) viaLocal(key string) ([][]int, bool) {
+	chunks, ok := m.sol[key]
+	if !ok {
+		return nil, false
+	}
+	return chunks, true // want `returns chunks, read from a memo/cache map and never copied`
+}
+
+// copied passes the value through a clone helper: the blessed pattern.
+func (m *solverMemo) copied(key string) ([][]int, bool) {
+	chunks, ok := m.sol[key]
+	if !ok {
+		return nil, false
+	}
+	return copyChunks(chunks), true
+}
+
+// rebound overwrites the local with a fresh copy before returning it.
+func (m *solverMemo) rebound(key string) []int {
+	flat, ok := m.flatCache()[key]
+	_ = ok
+	flat = append([]int(nil), flat...)
+	return flat
+}
+
+func (m *solverMemo) flatCache() map[string][]int { return nil }
+
+// structValue returns a struct containing a slice field: still aliasing.
+func (m *solverMemo) structValue(key string) result {
+	return m.results[key] // want `returns m.results\[key\] straight out of a memo/cache map`
+}
+
+// scalar values copy on return by definition.
+func (m *solverMemo) scalar(key string) float64 {
+	return m.scores[key]
+}
+
+// pointer caches share deliberately (internally synchronized values).
+func (m *solverMemo) pointer(key string) *result {
+	return m.ptrs[key]
+}
+
+// plainMap is not memo-like: no finding even though the value aliases.
+type index struct {
+	children map[string][]string
+}
+
+func (ix *index) kids(key string) []string {
+	return ix.children[key]
+}
+
+// sortedCopyKeys shows a memo map participating in ordinary, non-returning
+// reads without findings.
+func (m *solverMemo) keys() []string {
+	out := make([]string, 0, len(m.scores))
+	for k := range m.scores {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// suppressed demonstrates //spglint:ignore on the return line.
+func (m *solverMemo) suppressed(key string) [][]int {
+	return m.sol[key] //spglint:ignore memoalias fixture: caller is package-internal and treats the slice as read-only
+}
+
+func copyChunks(chunks [][]int) [][]int {
+	out := make([][]int, len(chunks))
+	for i, c := range chunks {
+		out[i] = append([]int(nil), c...)
+	}
+	return out
+}

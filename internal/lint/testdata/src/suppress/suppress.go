@@ -1,0 +1,40 @@
+// Package suppress exercises the suppression machinery itself: a valid
+// directive suppresses and records its reason; a bare directive (no reason)
+// is a finding of its own and suppresses nothing.
+package suppress
+
+func valid(m map[string]float64) float64 {
+	var sum float64
+	//spglint:ignore detrange values sum into a histogram downstream; order never escapes
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func bare(m map[string]float64) float64 {
+	var sum float64
+	//spglint:ignore detrange
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func wrongAnalyzer(m map[string]float64) float64 {
+	var sum float64
+	//spglint:ignore ctxflow reason aimed at the wrong analyzer does not suppress detrange
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func wildcard(m map[string]float64) float64 {
+	var sum float64
+	//spglint:ignore * wildcard directives suppress any analyzer on the next line
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,88 @@
+// Package wirecodec exercises the wirecodec analyzer: JSON-completeness of
+// structs reachable from the wire seams.
+package wirecodec
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// MapRequest is a wire root by naming convention (Request suffix).
+type MapRequest struct {
+	Workload string `json:"workload"`
+	Seed     int64  // want `exported field Seed has no json tag`
+	internal int    // unexported: invisible to encoding/json, not checked
+}
+
+// MapResponse nests a payload; reachability follows the field.
+type MapResponse struct {
+	Best    *Placement `json:"best"`
+	Elapsed int        `json:"elapsed_ms"`
+}
+
+// Placement is reached from MapResponse, so its fields are wire fields.
+type Placement struct {
+	Cores  []int         `json:"cores"`
+	Notify func()        // want `field Notify is not JSON-serializable \(func type func\(\)\)` `field Notify has no json tag`
+	Done   chan struct{} // want `field Done is not JSON-serializable \(chan type chan struct\{\}\)` `field Done has no json tag`
+}
+
+// WireCell is a root via the Wire prefix.
+type WireCell struct {
+	Key     string                    `json:"key"`
+	Reducer interface{ Reduce() int } // want `field Reducer is not JSON-serializable \(non-empty interface` `field Reducer has no json tag`
+	Payload any                       `json:"payload"` // empty interface: fine
+}
+
+// marshaled is a root because it is passed to json.Marshal below.
+type marshaled struct {
+	Value  float64 `json:"value"`
+	Hidden string  // want `exported field Hidden has no json tag`
+}
+
+func encode(m marshaled) ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// annotated is a root via the //spglint:wire directive.
+//
+//spglint:wire
+type annotated struct {
+	Count int // want `exported field Count has no json tag`
+}
+
+// CustomCodec owns its wire form; its fields are not traversed.
+type CustomCodec struct {
+	Raw      []byte
+	Untagged func()
+}
+
+func (c CustomCodec) MarshalJSON() ([]byte, error) { return c.Raw, nil }
+
+// TimedResponse shows trusted marshalers in field position: time.Time has
+// MarshalJSON, time.Duration is an integer on the wire.
+type TimedResponse struct {
+	At   time.Time         `json:"at"`
+	Took time.Duration     `json:"took"`
+	Keys map[time.Time]int `json:"keys"` // time.Time implements MarshalText: legal key
+	Bad  map[Coord]int     `json:"bad"`  // want `map key type wirecodec.Coord is not a string, integer, or TextMarshaler`
+	Wrap CustomCodec       `json:"wrap"`
+}
+
+// Coord is comparable (a legal Go map key) but not a legal JSON map key.
+type Coord struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+// SkipResponse: json:"-" fields are exempt from both rules.
+type SkipResponse struct {
+	Runtime func() `json:"-"`
+	Named   string `json:"named"`
+}
+
+// suppressedResponse demonstrates //spglint:ignore.
+type suppressedResponse struct {
+	//spglint:ignore wirecodec fixture: field deliberately untagged to prove suppression works
+	Legacy string
+}

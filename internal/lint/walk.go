@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectStack walks file like ast.Inspect but hands fn the stack of
+// enclosing nodes (outermost first, n last).
+func inspectStack(file *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		return fn(n, stack)
+	})
+}
+
+// enclosingFunc returns the innermost function declaration or literal in
+// stack whose body contains the node at the top, plus its body. The top of
+// the stack itself is skipped so a FuncLit can ask for its own enclosure.
+func enclosingFunc(stack []ast.Node) (ast.Node, *ast.BlockStmt) {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f, f.Body
+		case *ast.FuncLit:
+			return f, f.Body
+		}
+	}
+	return nil, nil
+}
+
+// identObj resolves an identifier expression to its object (definition or
+// use), or nil for non-identifiers.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// pkgNameOf reports whether e is a reference to the package imported under
+// the given import path (e.g. "sort", "net/http").
+func pkgNameOf(info *types.Info, e ast.Expr, path string) bool {
+	pn, ok := identObj(info, e).(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}
+
+// exprMentions reports whether obj is referenced anywhere inside e.
+func exprMentions(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && identObj(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// derefNamed unwraps aliases and one level of pointer and returns the named
+// type beneath, if any.
+func derefNamed(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// hasMethod reports whether t (or *t) has a method with the given name,
+// exported or not, declared directly or promoted.
+func hasMethod(t types.Type, name string) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// Wirecodec checks that every exported field of a struct reachable from the
+// wire seams is JSON-complete: it must carry a json struct tag (so the wire
+// name is deliberate, not an accident of the Go identifier) and must not be
+// func-, chan-, or unserializable-interface-typed (which encoding/json
+// rejects at runtime, turning a shard dispatch into a marshalling error on
+// a live cluster).
+//
+// Wire roots are discovered three ways:
+//   - struct types passed to encoding/json Marshal/Unmarshal/Encode/Decode
+//     calls in the package;
+//   - struct types following the wire naming convention: a Wire prefix or a
+//     Request/Response suffix (the engine protocol and service API types);
+//   - struct types annotated with a `//spglint:wire` doc comment.
+//
+// Reachability follows exported fields through pointers, slices, arrays and
+// maps, across package boundaries (a field added to core.Options surfaces
+// through engine.CellSpec). Types with custom MarshalJSON/MarshalText
+// codecs are trusted and not traversed. Embedded structs are traversed but
+// are themselves exempt from the tag rule (they marshal inline).
+var Wirecodec = &Analyzer{
+	Name: "wirecodec",
+	Doc: "every exported field reachable from a wire struct must carry a json tag and be " +
+		"JSON-serializable (no func/chan/non-empty-interface fields)",
+	Packages: []string{
+		"spgcmp/internal/engine",
+		"spgcmp/internal/mapping",
+		"spgcmp/internal/service",
+	},
+	Run: runWirecodec,
+}
+
+const wireDirective = "//spglint:wire"
+
+func runWirecodec(pass *Pass) error {
+	roots := wireRoots(pass)
+	w := &wireWalker{pass: pass, seen: make(map[*types.Named]bool)}
+	for _, r := range roots {
+		w.checkNamed(r.typ, r.pos)
+	}
+	return nil
+}
+
+type wireRoot struct {
+	typ *types.Named
+	pos token.Pos // where to report findings that have no in-package position
+}
+
+// wireRoots discovers the package's wire seam types.
+func wireRoots(pass *Pass) []wireRoot {
+	info := pass.TypesInfo
+	var roots []wireRoot
+	seen := make(map[*types.Named]bool)
+	add := func(t types.Type, pos token.Pos) {
+		n := derefNamed(t)
+		if n == nil || seen[n] {
+			return
+		}
+		if _, ok := n.Underlying().(*types.Struct); !ok {
+			return
+		}
+		seen[n] = true
+		roots = append(roots, wireRoot{typ: n, pos: pos})
+	}
+	for _, file := range pass.Files {
+		// Declared struct types: naming convention and //spglint:wire.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				if wireByName(ts.Name.Name) || hasWireDirective(gd, ts) {
+					add(obj.Type(), ts.Pos())
+				}
+			}
+		}
+		// Arguments of encoding/json calls.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !jsonCodecCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if t := info.TypeOf(arg); t != nil {
+					add(t, arg.Pos())
+				}
+			}
+			return true
+		})
+	}
+	return roots
+}
+
+// wireByName reports whether a type name follows the wire naming
+// convention.
+func wireByName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "wire") ||
+		strings.HasSuffix(lower, "request") ||
+		strings.HasSuffix(lower, "response")
+}
+
+func hasWireDirective(gd *ast.GenDecl, ts *ast.TypeSpec) bool {
+	for _, doc := range []*ast.CommentGroup{ts.Doc, gd.Doc} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if strings.HasPrefix(c.Text, wireDirective) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// jsonCodecCall reports whether call is an encoding/json package call or an
+// Encode/Decode method call on a json.Encoder/Decoder.
+func jsonCodecCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkgNameOf(info, sel.X, "encoding/json") {
+		switch sel.Sel.Name {
+		case "Marshal", "MarshalIndent", "Unmarshal":
+			return true
+		}
+		return false
+	}
+	if sel.Sel.Name != "Encode" && sel.Sel.Name != "Decode" {
+		return false
+	}
+	recv := derefNamed(info.TypeOf(sel.X))
+	return recv != nil && recv.Obj().Pkg() != nil &&
+		recv.Obj().Pkg().Path() == "encoding/json"
+}
+
+type wireWalker struct {
+	pass *Pass
+	seen map[*types.Named]bool
+}
+
+// checkNamed validates one named struct and recurses through its fields.
+// fallback is where findings are reported when the field's own position is
+// not part of this build (types imported from export data).
+func (w *wireWalker) checkNamed(n *types.Named, fallback token.Pos) {
+	if w.seen[n] {
+		return
+	}
+	w.seen[n] = true
+	if hasMethod(n, "MarshalJSON") || hasMethod(n, "UnmarshalJSON") {
+		return // custom codec owns its wire form
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	w.checkStruct(n.Obj().Name(), st, fallback)
+}
+
+func (w *wireWalker) checkStruct(name string, st *types.Struct, fallback token.Pos) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue // encoding/json skips unexported fields
+		}
+		pos := f.Pos()
+		if !w.inPass(pos) {
+			pos = fallback
+		}
+		tag := reflect.StructTag(st.Tag(i))
+		jsonTag, hasTag := tag.Lookup("json")
+		if jsonTag == "-" {
+			continue // explicitly excluded from the wire form
+		}
+		if !hasTag && !f.Embedded() {
+			w.pass.Reportf(pos, "wire struct %s: exported field %s has no json tag", name, f.Name())
+		}
+		if bad := unserializable(f.Type(), make(map[types.Type]bool)); bad != "" {
+			w.pass.Reportf(pos, "wire struct %s: field %s is not JSON-serializable (%s)", name, f.Name(), bad)
+		}
+		w.recurse(f.Type(), pos)
+	}
+}
+
+// recurse follows a field type to nested named structs so their fields are
+// validated too.
+func (w *wireWalker) recurse(t types.Type, fallback token.Pos) {
+	switch t := types.Unalias(t).(type) {
+	case *types.Named:
+		w.checkNamed(t, fallback)
+	case *types.Pointer:
+		w.recurse(t.Elem(), fallback)
+	case *types.Slice:
+		w.recurse(t.Elem(), fallback)
+	case *types.Array:
+		w.recurse(t.Elem(), fallback)
+	case *types.Map:
+		w.recurse(t.Elem(), fallback)
+	case *types.Struct:
+		w.checkStruct("(anonymous)", t, fallback)
+	}
+}
+
+func (w *wireWalker) inPass(pos token.Pos) bool {
+	if pos == token.NoPos {
+		return false
+	}
+	f := w.pass.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	for _, file := range w.pass.Files {
+		if w.pass.Fset.File(file.Pos()) == f {
+			return true
+		}
+	}
+	return false
+}
+
+// unserializable returns a description of why t cannot round-trip through
+// encoding/json, or "" if it can.
+func unserializable(t types.Type, visiting map[types.Type]bool) string {
+	t = types.Unalias(t)
+	if visiting[t] {
+		return ""
+	}
+	visiting[t] = true
+	defer delete(visiting, t)
+	if n, ok := t.(*types.Named); ok {
+		if hasMethod(n, "MarshalJSON") || hasMethod(n, "MarshalText") {
+			return ""
+		}
+		if _, isStruct := n.Underlying().(*types.Struct); isStruct {
+			// Named structs are checked as wire structs in their own right
+			// (recurse → checkNamed), reporting at their own fields instead
+			// of at every field that references them.
+			return ""
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Complex64, types.Complex128, types.UnsafePointer:
+			return u.String()
+		}
+		return ""
+	case *types.Signature:
+		return "func type " + t.String()
+	case *types.Chan:
+		return "chan type " + t.String()
+	case *types.Interface:
+		if u.NumMethods() == 0 {
+			return "" // any: opaque but marshalable payload
+		}
+		return "non-empty interface " + t.String()
+	case *types.Pointer:
+		return unserializable(u.Elem(), visiting)
+	case *types.Slice:
+		return unserializable(u.Elem(), visiting)
+	case *types.Array:
+		return unserializable(u.Elem(), visiting)
+	case *types.Map:
+		if bad := unserializableMapKey(u.Key()); bad != "" {
+			return bad
+		}
+		return unserializable(u.Elem(), visiting)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if bad := unserializable(f.Type(), visiting); bad != "" {
+				return bad
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// unserializableMapKey rejects map keys encoding/json cannot encode:
+// anything but strings, integers, and TextMarshalers.
+func unserializableMapKey(k types.Type) string {
+	k = types.Unalias(k)
+	if n, ok := k.(*types.Named); ok && hasMethod(n, "MarshalText") {
+		return ""
+	}
+	if b, ok := k.Underlying().(*types.Basic); ok {
+		if b.Info()&(types.IsString|types.IsInteger) != 0 {
+			return ""
+		}
+	}
+	return "map key type " + k.String() + " is not a string, integer, or TextMarshaler"
+}

@@ -113,9 +113,9 @@ type Server struct {
 	now         func() time.Time
 
 	mu      sync.Mutex
-	jobs    map[string]*job
-	running int
-	nextID  int
+	jobs    map[string]*job // guarded by mu
+	running int             // guarded by mu
+	nextID  int             // guarded by mu
 }
 
 // job tracks one asynchronous campaign from submission to completion.
@@ -134,9 +134,9 @@ type job struct {
 	finishedAt time.Time
 
 	mu     sync.Mutex
-	status string // "running", "done", "failed", "cancelled"
-	result any
-	errMsg string
+	status string // guarded by mu; "running", "done", "failed", "cancelled"
+	result any    // guarded by mu
+	errMsg string // guarded by mu
 }
 
 // New returns a Server ready to serve.
@@ -706,6 +706,7 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "%d campaigns already running, limit %d; retry later", s.maxActive, s.maxActive)
 		return
 	}
+	//spglint:ignore ctxflow async campaign outlives its submitting request; cancelled via DELETE /v1/campaign/{id}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.running++
 	s.nextID++

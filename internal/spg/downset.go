@@ -458,6 +458,7 @@ func (c *downsetCore) replayLocked(entry expEntry, maxWork float64, emit func(Ex
 // modify entry.exps.
 func (c *downsetCore) ensureExpansionsLocked(id int, maxWork float64) (expEntry, error) {
 	if e, ok := c.expCache[id]; ok && e.maxWork >= maxWork {
+		//spglint:ignore memoalias documented contract above: callers hold c.mu and must not modify entry.exps; copying every replay would defeat the cache
 		return e, c.touch(id)
 	}
 	if err := c.touch(id); err != nil {

@@ -72,6 +72,7 @@ func (a *Analysis) memberFootprint() int64 {
 
 	a.downMu.Lock()
 	views := make([]*DownsetSpace, 0, len(a.downsets))
+	//spglint:ignore detrange collects map values for a commutative sum; iteration order never reaches the result
 	for _, slot := range a.downsets {
 		slot.mu.Lock()
 		if slot.built && slot.ds != nil {
@@ -86,6 +87,7 @@ func (a *Analysis) memberFootprint() int64 {
 
 	a.auxMu.Lock()
 	auxen := make([]*lazySlot[any], 0, len(a.aux))
+	//spglint:ignore detrange collects map values for a commutative sum; iteration order never reaches the result
 	for _, cell := range a.aux {
 		auxen = append(auxen, cell)
 	}
@@ -100,6 +102,7 @@ func (a *Analysis) memberFootprint() int64 {
 
 	a.scaleMu.Lock()
 	scaled := make([]*Analysis, 0, len(a.scaled))
+	//spglint:ignore detrange collects map values for a commutative sum; iteration order never reaches the result
 	for _, v := range a.scaled {
 		scaled = append(scaled, v)
 	}
@@ -151,6 +154,7 @@ func (sh *analysisShared) footprint() int64 {
 
 	sh.coreMu.Lock()
 	cores := make([]*downsetCore, 0, len(sh.downsetCores))
+	//spglint:ignore detrange collects map values for a commutative sum; iteration order never reaches the result
 	for _, cell := range sh.downsetCores {
 		cell.mu.Lock()
 		if cell.built && cell.core != nil {
@@ -165,6 +169,7 @@ func (sh *analysisShared) footprint() int64 {
 
 	sh.auxMu.Lock()
 	auxen := make([]*lazySlot[any], 0, len(sh.aux))
+	//spglint:ignore detrange collects map values for a commutative sum; iteration order never reaches the result
 	for _, cell := range sh.aux {
 		auxen = append(auxen, cell)
 	}
