@@ -12,19 +12,32 @@
 // family-affine cell chunks to whichever workers are free — re-dispatching
 // failed chunks to surviving workers — so campaigns stay bit-identical to a
 // single-process run through worker deaths, rejoins and replacements.
+//
+// SIGTERM (and SIGINT) triggers a graceful drain: the process announces
+// {draining:true} to its coordinator so it stops receiving chunks without
+// being marked dead, sheds new work with 503, finishes in-flight requests
+// within -drain-timeout, deregisters, and exits — a rolling restart loses no
+// chunk and trips no circuit breaker. The -chaos flag wraps the dispatcher's
+// HTTP client in internal/chaos's deterministic fault injector (see that
+// package and `spgserve -h` for the spec grammar); CI drives a real
+// three-process cluster under it and asserts byte-identical results.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"spgcmp/internal/chaos"
 	"spgcmp/internal/engine"
 	"spgcmp/internal/service"
 )
@@ -61,7 +74,10 @@ func advertiseURL(addr string) string {
 // registerLoop announces this process to a coordinator's POST /v1/workers —
 // immediately, then every interval as a keep-alive, so a coordinator that
 // restarts (or starts late) relearns its workers without operator action.
-func registerLoop(coordinator, selfURL string, interval time.Duration) {
+// Closing stop ends the loop; the drain sequence does that before it sends
+// the draining notice, so no keep-alive re-registration (which clears the
+// coordinator's draining mark) can race it.
+func registerLoop(coordinator, selfURL string, interval time.Duration, stop <-chan struct{}) {
 	endpoint := strings.TrimRight(coordinator, "/") + "/v1/workers"
 	body := fmt.Sprintf(`{"url":%q}`, selfURL)
 	registered := false
@@ -81,8 +97,47 @@ func registerLoop(coordinator, selfURL string, interval time.Duration) {
 		if resp != nil {
 			resp.Body.Close()
 		}
-		time.Sleep(interval)
+		select {
+		case <-time.After(interval):
+		case <-stop:
+			return
+		}
 	}
+}
+
+// announceDrain tells the coordinator this worker is draining: still alive,
+// still probe-answering, but ineligible for new chunks. Best-effort — a
+// coordinator that misses it only loses the head start, not correctness (its
+// dispatches fail against the 503s and re-route).
+func announceDrain(coordinator, selfURL string) {
+	endpoint := strings.TrimRight(coordinator, "/") + "/v1/workers"
+	body := fmt.Sprintf(`{"url":%q,"draining":true}`, selfURL)
+	resp, err := http.Post(endpoint, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Printf("drain announcement to %s failed: %v", coordinator, err)
+		return
+	}
+	resp.Body.Close()
+	log.Printf("announced drain of %s to coordinator %s", selfURL, coordinator)
+}
+
+// deregister removes this worker from the coordinator's registry — the final
+// step of a drain, after in-flight work has finished.
+func deregister(coordinator, selfURL string) {
+	endpoint := strings.TrimRight(coordinator, "/") + "/v1/workers"
+	body := fmt.Sprintf(`{"url":%q}`, selfURL)
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodDelete, endpoint, bytes.NewReader([]byte(body)))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Printf("deregistering from %s failed: %v", coordinator, err)
+		return
+	}
+	resp.Body.Close()
+	log.Printf("deregistered %s from coordinator %s", selfURL, coordinator)
 }
 
 func main() {
@@ -101,6 +156,9 @@ func main() {
 		advertise     = flag.String("advertise", "", "base URL this process registers under (default derived from -addr)")
 		jobTTL        = flag.Duration("job-ttl", time.Hour, "how long finished campaign jobs stay pollable (negative disables)")
 		maxJobs       = flag.Int("max-finished-jobs", 64, "retained finished campaign jobs, oldest evicted first (negative disables)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests before exiting")
+		chaosSpec     = flag.String("chaos", "", `deterministic fault injection on outgoing dispatch requests, e.g. "delay,d=400ms,path=/v1/cells/execute,every=3;status,code=500,every=5" (see internal/chaos)`)
+		chaosSeed     = flag.Int64("chaos-seed", 1, "seed for the -chaos probability gates (same seed, same faults)")
 		quickstart    = flag.Bool("h-examples", false, "print example requests and exit")
 	)
 	flag.Func("worker", "shard-worker base URL, repeatable and/or comma-separated; seeds the coordinator's worker registry", func(v string) error {
@@ -121,6 +179,16 @@ curl localhost:8080/v1/workers
 		os.Exit(0)
 	}
 
+	var dispatchClient *http.Client
+	if *chaosSpec != "" {
+		rules, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			log.Fatalf("-chaos: %v", err)
+		}
+		dispatchClient = &http.Client{Transport: &chaos.Transport{Seed: *chaosSeed, Rules: rules}}
+		log.Printf("CHAOS: injecting %d fault rule(s) into dispatch requests (seed %d)", len(rules), *chaosSeed)
+	}
+
 	cache := engine.NewAnalysisCacheBytes(*cacheSize, *cacheMB<<20)
 	registry := engine.NewWorkerRegistry(engine.RegistryConfig{ProbeInterval: *probeInterval}, workerURLs...)
 	registry.Start()
@@ -129,6 +197,7 @@ curl localhost:8080/v1/workers
 		Cache:    cache,
 		Executor: &engine.PoolExecutor{Workers: *workers},
 		Registry: registry,
+		Client:   dispatchClient,
 		OnFallback: func(start, end int, err error) {
 			log.Printf("dispatch chunk [%d,%d) fell back to local execution: %v", start, end, err)
 		},
@@ -139,12 +208,13 @@ curl localhost:8080/v1/workers
 		JobTTL:           *jobTTL,
 		MaxFinishedJobs:  *maxJobs,
 	})
+	self := *advertise
+	if self == "" {
+		self = advertiseURL(*addr)
+	}
+	stopKeepAlive := make(chan struct{})
 	if *registerWith != "" {
-		self := *advertise
-		if self == "" {
-			self = advertiseURL(*addr)
-		}
-		go registerLoop(*registerWith, self, *probeInterval)
+		go registerLoop(*registerWith, self, *probeInterval, stopKeepAlive)
 	}
 	role := "single-process"
 	if len(workerURLs) > 0 {
@@ -152,7 +222,39 @@ curl localhost:8080/v1/workers
 	}
 	log.Printf("spgserve listening on %s (%s; cache: %d entries, %d MiB; workers: %d)",
 		*addr, role, *cacheSize, *cacheMB, *workers)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
 		log.Fatal(err)
+	case sig := <-sigs:
+		// Graceful drain: shed new work, tell the coordinator we are leaving
+		// the rotation (ineligible, not dead), finish what is in flight, then
+		// deregister and go. A second signal aborts the wait.
+		log.Printf("received %v: draining (timeout %v)", sig, *drainTimeout)
+		srv.StartDrain()
+		close(stopKeepAlive)
+		if *registerWith != "" {
+			announceDrain(*registerWith, self)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		go func() {
+			<-sigs
+			log.Print("second signal: aborting drain")
+			cancel()
+		}()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("drain ended early: %v", err)
+		}
+		cancel()
+		if *registerWith != "" {
+			deregister(*registerWith, self)
+		}
+		log.Print("drained; exiting")
 	}
 }

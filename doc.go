@@ -20,6 +20,7 @@
 //	                     executors, the campaign-scope AnalysisCache
 //	internal/experiments the Section 6 evaluation campaigns (engine adapters)
 //	internal/service     the HTTP/JSON mapping service (cmd/spgserve)
+//	internal/chaos       deterministic fault injection for the cluster paths
 //
 // # The three cache layers
 //
@@ -134,6 +135,26 @@
 // promotes any running instance to coordinator. One engine and one cache
 // back all endpoints, so a service that has mapped a workload family once
 // answers every later request on it from warm structures.
+//
+// The serving stack is hardened for real clusters. Request deadlines
+// (deadline_ms / the X-SPG-Deadline header) propagate from /v1/map and
+// /v1/campaign through the dispatcher into every worker request — each
+// dispatch advertises its remaining budget, and workers refuse ranges they
+// cannot plausibly finish — while failed chunks re-dispatch under seeded
+// exponential backoff bounded by a per-campaign retry budget (surfaced in
+// the campaign status and /v1/healthz). Dispatch outcomes and probes drive a
+// per-worker circuit breaker (closed / open / half-open, visible in
+// /v1/workers), and SIGTERM starts a graceful drain: the worker announces
+// {draining:true} so its coordinator stops placing chunks on it without
+// marking it dead, finishes in-flight ranges, deregisters and exits.
+// Because every retry, re-placement and fallback re-executes a pure cell,
+// none of this machinery can change a campaign's bytes — and internal/chaos
+// proves it: a seeded http.RoundTripper injects deterministic faults
+// (drops, delays, 5xx, garbage, truncated bodies) on a declarative
+// schedule, and the dispatcher chaos suite plus the CI fault matrix assert
+// byte-identical results under every fault class, with retries within
+// budget and breaker transitions observed. Same seed, same faults — a
+// chaos failure replays exactly.
 //
 // BenchmarkCampaign vs BenchmarkCampaignUncached quantifies the end-to-end
 // effect on the full StreamIt suite (all CCR variants, warm cache; >20x on a

@@ -1,0 +1,239 @@
+package chaos
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sendAll fires n GET requests at url through client and returns the
+// per-request outcomes as compact strings: "err" for transport errors,
+// otherwise "<code>:<body>".
+func sendAll(t *testing.T, client *http.Client, url string, n int) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			out = append(out, "err")
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			out = append(out, "readerr")
+			continue
+		}
+		out = append(out, resp.Status[:3]+":"+string(body))
+	}
+	return out
+}
+
+func TestTransportSchedule(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	cases := []struct {
+		name  string
+		rules []Rule
+		want  []string // outcome per request, 6 requests
+	}{
+		{
+			name:  "drop every second request",
+			rules: []Rule{{Fault: Drop, Every: 2}},
+			want:  []string{"err", "200:ok", "err", "200:ok", "err", "200:ok"},
+		},
+		{
+			name:  "offset skips the first matches",
+			rules: []Rule{{Fault: Status, Code: 503, Every: 2, Offset: 1}},
+			want:  []string{"200:ok", "503:chaos: injected 503 (rule 0)", "200:ok", "503:chaos: injected 503 (rule 0)", "200:ok", "503:chaos: injected 503 (rule 0)"},
+		},
+		{
+			name:  "count bounds total firings",
+			rules: []Rule{{Fault: Drop, Every: 1, Count: 2}},
+			want:  []string{"err", "err", "200:ok", "200:ok", "200:ok", "200:ok"},
+		},
+		{
+			name:  "status defaults to 500",
+			rules: []Rule{{Fault: Status, Every: 3}},
+			want:  []string{"500:chaos: injected 500 (rule 0)", "200:ok", "200:ok", "500:chaos: injected 500 (rule 0)", "200:ok", "200:ok"},
+		},
+		{
+			name:  "first firing rule wins",
+			rules: []Rule{{Fault: Drop, Every: 3}, {Fault: Status, Code: 502, Every: 2}},
+			want:  []string{"err", "200:ok", "502:chaos: injected 502 (rule 1)", "err", "502:chaos: injected 502 (rule 1)", "200:ok"},
+		},
+		{
+			name:  "path filter spares other endpoints",
+			rules: []Rule{{Fault: Drop, Path: "/elsewhere", Every: 1}},
+			want:  []string{"200:ok", "200:ok", "200:ok", "200:ok", "200:ok", "200:ok"},
+		},
+		{
+			name:  "method filter spares GETs",
+			rules: []Rule{{Fault: Drop, Method: http.MethodPost, Every: 1}},
+			want:  []string{"200:ok", "200:ok", "200:ok", "200:ok", "200:ok", "200:ok"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := &Transport{Rules: tc.rules}
+			client := &http.Client{Transport: tr}
+			got := sendAll(t, client, srv.URL+"/v1/cells/execute", len(tc.want))
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("outcomes = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTransportDeterministicUnderSeed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	run := func(seed int64) ([]string, []Event) {
+		tr := &Transport{Seed: seed, Rules: []Rule{{Fault: Drop, Every: 1, Prob: 0.4}}}
+		client := &http.Client{Transport: tr}
+		return sendAll(t, client, srv.URL+"/x", 40), tr.Events()
+	}
+
+	got1, events1 := run(7)
+	got2, events2 := run(7)
+	if !reflect.DeepEqual(got1, got2) {
+		t.Fatalf("same seed diverged:\n%v\n%v", got1, got2)
+	}
+	if !reflect.DeepEqual(events1, events2) {
+		t.Fatalf("same seed produced different event logs:\n%v\n%v", events1, events2)
+	}
+	faulted := 0
+	for _, o := range got1 {
+		if o == "err" {
+			faulted++
+		}
+	}
+	if faulted == 0 || faulted == len(got1) {
+		t.Fatalf("prob gate degenerate: %d/%d faulted", faulted, len(got1))
+	}
+	if len(events1) != faulted {
+		t.Fatalf("event log has %d entries, %d requests faulted", len(events1), faulted)
+	}
+
+	got3, _ := run(8)
+	if reflect.DeepEqual(got1, got3) {
+		t.Fatalf("different seeds produced identical schedules (possible, but suspicious for 40 requests)")
+	}
+}
+
+func TestTransportGarbage(t *testing.T) {
+	served := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		io.WriteString(w, `{"fine":true}`)
+	}))
+	defer srv.Close()
+
+	tr := &Transport{Rules: []Rule{{Fault: Garbage, Every: 1, Count: 1}}}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatalf("garbage fault should not be a transport error: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("garbage status = %d, want 200", resp.StatusCode)
+	}
+	if strings.HasPrefix(string(body), "{") {
+		t.Fatalf("garbage body decodes as JSON start: %q", body)
+	}
+	if served != 0 {
+		t.Fatalf("garbage fault forwarded the request to the server")
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	const full = `{"results":[1,2,3,4,5,6,7,8]}`
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, full)
+	}))
+	defer srv.Close()
+
+	tr := &Transport{Rules: []Rule{{Fault: Truncate, Every: 1}}}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatalf("truncate fault should not be a transport error: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) != len(full)/2 {
+		t.Fatalf("truncated body has %d bytes, want %d", len(body), len(full)/2)
+	}
+	if !strings.HasPrefix(full, string(body)) {
+		t.Fatalf("truncated body %q is not a prefix of %q", body, full)
+	}
+}
+
+func TestTransportDelayHonorsContext(t *testing.T) {
+	served := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	defer srv.Close()
+
+	tr := &Transport{Rules: []Rule{{Fault: Delay, Delay: time.Hour, Every: 1}}}
+	client := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = client.Do(req)
+	if err == nil {
+		t.Fatalf("delayed-past-deadline request should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delay did not honor the context deadline: took %v", elapsed)
+	}
+	if served != 0 {
+		t.Fatalf("request aborted by its deadline still reached the server")
+	}
+}
+
+func TestParse(t *testing.T) {
+	rules, err := Parse("delay,d=400ms,path=/v1/cells/execute,every=3; status,code=503,offset=2,count=1,method=post ;drop,prob=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Fault: Delay, Delay: 400 * time.Millisecond, Path: "/v1/cells/execute", Every: 3},
+		{Fault: Status, Code: 503, Offset: 2, Count: 1, Method: "POST"},
+		{Fault: Drop, Prob: 0.25},
+	}
+	if !reflect.DeepEqual(rules, want) {
+		t.Fatalf("Parse = %+v, want %+v", rules, want)
+	}
+
+	for _, bad := range []string{
+		"",
+		"explode,every=1",
+		"drop,every",
+		"drop,every=x",
+		"drop,frequency=2",
+		"delay,d=fast",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}

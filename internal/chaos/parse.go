@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse decodes the compact rule syntax of cmd/spgserve's -chaos flag:
+// semicolon-separated rules, each a comma-separated list whose first field is
+// the fault kind and whose remaining fields are key=value options.
+//
+//	delay,d=400ms,path=/v1/cells/execute,every=3
+//	status,code=503,every=5,offset=2
+//	drop,prob=0.2;garbage,count=1
+//
+// Keys: path, method, every, offset, count, prob, d/delay (a Go duration),
+// code. Unknown kinds, unknown keys and malformed values are errors, so a
+// typo'd schedule fails at startup rather than silently injecting nothing.
+func Parse(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		fields := strings.Split(raw, ",")
+		rule := Rule{Fault: Kind(strings.TrimSpace(fields[0]))}
+		switch rule.Fault {
+		case Drop, Delay, Status, Garbage, Truncate:
+		default:
+			return nil, fmt.Errorf("chaos: unknown fault kind %q in rule %q", rule.Fault, raw)
+		}
+		for _, f := range fields[1:] {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("chaos: field %q in rule %q is not key=value", f, raw)
+			}
+			var err error
+			switch key {
+			case "path":
+				rule.Path = val
+			case "method":
+				rule.Method = strings.ToUpper(val)
+			case "every":
+				rule.Every, err = strconv.Atoi(val)
+			case "offset":
+				rule.Offset, err = strconv.Atoi(val)
+			case "count":
+				rule.Count, err = strconv.Atoi(val)
+			case "prob":
+				rule.Prob, err = strconv.ParseFloat(val, 64)
+			case "d", "delay":
+				rule.Delay, err = time.ParseDuration(val)
+			case "code":
+				rule.Code, err = strconv.Atoi(val)
+			default:
+				return nil, fmt.Errorf("chaos: unknown key %q in rule %q", key, raw)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad value for %q in rule %q: %v", key, raw, err)
+			}
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("chaos: spec %q contains no rules", spec)
+	}
+	return rules, nil
+}

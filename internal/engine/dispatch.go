@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"encoding/binary"
 	"hash/fnv"
 	"net/http"
 	"sync"
@@ -13,6 +14,53 @@ import (
 // CCR variants in a StreamIt family, so the default chunking ships one whole
 // workload family per request.
 const DefaultChunkCells = 4
+
+// Retry-discipline defaults: a failed chunk waits a seeded, jittered
+// exponential backoff before its next dispatch attempt instead of hammering
+// the next worker immediately, and a campaign stops retrying altogether once
+// it has spent its retry budget (DefaultRetryBudgetPerChunk attempts per
+// chunk by default), degrading to the local pool rather than retrying
+// forever.
+const (
+	DefaultRetryBaseDelay      = 50 * time.Millisecond
+	DefaultRetryMaxDelay       = 2 * time.Second
+	DefaultRetryBudgetPerChunk = 4
+)
+
+// retryDelay computes the backoff before retry number attempt (1-based) of
+// the chunk starting at cell index start: base doubled per prior attempt,
+// jittered into [0.5, 1.5) of itself by a pure FNV hash of (seed, start,
+// attempt), clamped to max. The jitter decorrelates chunks that failed
+// together (one dead worker fails many chunks at once) without math/rand:
+// the same (seed, chunk, attempt) always backs off identically, so a chaos
+// schedule replays exactly.
+func retryDelay(seed int64, start, attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = DefaultRetryBaseDelay
+	}
+	if max <= 0 {
+		max = DefaultRetryMaxDelay
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(seed))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(start))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(attempt))
+	h.Write(buf[:])
+	frac := float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+	jittered := time.Duration((0.5 + frac) * float64(d))
+	if jittered > max {
+		jittered = max
+	}
+	return jittered
+}
 
 // rendezvousOwner picks the worker that owns a workload family under
 // highest-random-weight (rendezvous) hashing: every (family, worker) pair is
@@ -56,6 +104,16 @@ type chunk struct {
 	stealable bool
 	// pendingSince feeds the StealDelay grace period.
 	pendingSince time.Time
+	// attempts counts failed dispatches of this chunk; it is the exponent of
+	// the next backoff.
+	attempts int
+	// notBefore is the end of the chunk's current backoff: no worker may
+	// take it earlier. Orphan detection ignores it — a chunk no worker can
+	// serve goes to the local pool immediately, backing off or not.
+	notBefore time.Time
+	// exhausted marks a chunk the campaign may no longer retry remotely
+	// (retry budget spent): only the local pool will serve it.
+	exhausted bool
 }
 
 // chunkCampaign splits the cell index space into dispatchable chunks of at
@@ -116,6 +174,13 @@ type DispatcherStats struct {
 	// Steals counts chunks served by a worker other than their affinity
 	// owner — idle workers overriding affinity so nobody starves.
 	Steals int64 `json:"steals"`
+	// Retries counts dispatch attempts consumed from the retry budget: every
+	// time a failed chunk was requeued for another remote attempt.
+	Retries int64 `json:"retries"`
+	// RetryBudget is the campaign's total retry allowance (0 when the
+	// snapshot aggregates many campaigns, as DispatcherTotals does). Once
+	// Retries reaches it, further failures go straight to the local pool.
+	RetryBudget int64 `json:"retry_budget,omitempty"`
 	// WorkerChunks attributes served chunks to worker URLs.
 	WorkerChunks map[string]int64 `json:"worker_chunks,omitempty"`
 }
@@ -123,11 +188,13 @@ type DispatcherStats struct {
 // dispatchCounters is the shared counter implementation behind per-campaign
 // dispatcher stats and the process-lifetime totals.
 type dispatchCounters struct {
-	chunks, remote, redispatch, local, steals atomic.Int64
+	chunks, remote, redispatch, local, steals, retries atomic.Int64
 
 	mu        sync.Mutex
 	perWorker map[string]int64
 }
+
+func (c *dispatchCounters) retried() { c.retries.Add(1) }
 
 func (c *dispatchCounters) servedRemote(worker string, redispatched, stolen bool) {
 	c.chunks.Add(1)
@@ -158,6 +225,7 @@ func (c *dispatchCounters) stats() DispatcherStats {
 		Redispatches:   c.redispatch.Load(),
 		LocalFallbacks: c.local.Load(),
 		Steals:         c.steals.Load(),
+		Retries:        c.retries.Load(),
 	}
 	c.mu.Lock()
 	if len(c.perWorker) > 0 {
@@ -195,8 +263,10 @@ func (t *DispatcherTotals) Stats() DispatcherStats {
 // analyses warm one worker's AnalysisCache; an idle worker steals foreign
 // chunks (after StealDelay, immediately by default) so affinity never
 // starves anyone. A chunk whose dispatch fails or times out is re-dispatched
-// to a different worker — falling back to the local pool only when every
-// live (non-dead) worker has already failed it — and the registry is told
+// to a different worker after a seeded exponential backoff (retryDelay; a
+// campaign-wide RetryBudget bounds the total attempts) — falling back to the
+// local pool when every live (non-dead, non-draining) worker has already
+// failed it or the budget is spent — and the registry is told
 // about every outcome, so a flapping worker leaves and rejoins the rotation
 // between chunks: suspect workers keep pulling (a success instantly heals
 // them, DeadAfter failures retire them), which is also how per-request
@@ -212,9 +282,25 @@ type Dispatcher struct {
 	ChunkCells int
 	// Client issues the worker requests; nil selects http.DefaultClient.
 	Client *http.Client
-	// RequestTimeout bounds one chunk request (default 10 min). On expiry
-	// the chunk is re-dispatched elsewhere.
+	// RequestTimeout bounds one chunk request (default
+	// DefaultRequestTimeout); a deadline already on the campaign context
+	// tightens it further, and the effective budget is advertised to the
+	// worker via DeadlineHeader. On expiry the chunk is re-dispatched
+	// elsewhere.
 	RequestTimeout time.Duration
+	// Seed drives the deterministic retry jitter (retryDelay). Any fixed
+	// seed yields a replayable backoff schedule; results never depend on it.
+	Seed int64
+	// RetryBaseDelay is the backoff before a chunk's first retry (default
+	// DefaultRetryBaseDelay), doubling per subsequent attempt.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps a single backoff (default DefaultRetryMaxDelay).
+	RetryMaxDelay time.Duration
+	// RetryBudget caps the campaign's total remote retries; once spent,
+	// failed chunks go straight to the local pool. 0 selects
+	// DefaultRetryBudgetPerChunk times the campaign's chunk count; negative
+	// disables retries entirely (every failure falls back).
+	RetryBudget int
 	// StealDelay is how long a pending chunk is reserved for its healthy
 	// affinity owner before an idle worker may steal it. 0 steals
 	// immediately; chunks whose owner is unhealthy (or that already failed
@@ -232,11 +318,19 @@ type Dispatcher struct {
 	Totals *DispatcherTotals
 
 	counters dispatchCounters
+	// resolvedBudget is the concrete retry allowance of the most recent
+	// campaign (RetryBudget, or the per-chunk default times its chunk
+	// count), surfaced through Stats.
+	resolvedBudget atomic.Int64
 }
 
 // Stats snapshots this dispatcher's scheduling counters (per-campaign when
 // the coordinator clones a dispatcher per job).
-func (d *Dispatcher) Stats() DispatcherStats { return d.counters.stats() }
+func (d *Dispatcher) Stats() DispatcherStats {
+	s := d.counters.stats()
+	s.RetryBudget = d.resolvedBudget.Load()
+	return s
+}
 
 // Clone returns a dispatcher with the same configuration (sharing the
 // registry and totals) and fresh per-campaign counters.
@@ -246,6 +340,10 @@ func (d *Dispatcher) Clone() *Dispatcher {
 		ChunkCells:     d.ChunkCells,
 		Client:         d.Client,
 		RequestTimeout: d.RequestTimeout,
+		Seed:           d.Seed,
+		RetryBaseDelay: d.RetryBaseDelay,
+		RetryMaxDelay:  d.RetryMaxDelay,
+		RetryBudget:    d.RetryBudget,
 		StealDelay:     d.StealDelay,
 		LocalFallback:  d.LocalFallback,
 		OnFallback:     d.OnFallback,
@@ -295,6 +393,15 @@ func (d *Dispatcher) ExecuteCampaign(ctx context.Context, cells []Cell, solve fu
 		c.pendingSince = now
 	}
 	run.remaining = len(run.pending)
+	switch {
+	case d.RetryBudget > 0:
+		run.budget = d.RetryBudget
+	case d.RetryBudget == 0:
+		run.budget = DefaultRetryBudgetPerChunk * len(run.pending)
+	default:
+		run.budget = 0
+	}
+	d.resolvedBudget.Store(int64(run.budget))
 	run.supervise()
 	run.wg.Wait()
 	return ctx.Err()
@@ -314,8 +421,13 @@ type dispatchRun struct {
 	wake      chan struct{} // closed and replaced on every queue change
 	pending   []*chunk
 	remaining int // chunks not yet completed (pending + in flight)
-	loops     map[string]bool
-	wg        sync.WaitGroup
+	// budget is the total remote retries the campaign may spend — resolved
+	// once in ExecuteCampaign before supervise() starts any loop, immutable
+	// afterwards, so reads need no lock.
+	budget  int
+	retries int // guarded by mu; remote retries spent so far
+	loops   map[string]bool
+	wg      sync.WaitGroup
 }
 
 // bcastLocked wakes every waiting loop. Callers hold mu.
@@ -363,15 +475,17 @@ func (r *dispatchRun) supervise() {
 }
 
 // availableWorkers returns the workers the scheduler may still try: every
-// registered worker not yet dead. Suspect workers count — they keep pulling
-// chunks (one success heals them, DeadAfter failures finish them), so a
-// transient failure or a momentary all-suspect blip never drains a campaign
-// to local execution.
+// registered worker not yet dead (open breaker) and not draining. Suspect
+// workers count — they keep pulling chunks (one success heals them,
+// DeadAfter failures finish them), so a transient failure or a momentary
+// all-suspect blip never drains a campaign to local execution. Draining
+// workers do not: they announced they will stop serving, so giving them new
+// chunks only manufactures failures.
 func (r *dispatchRun) availableWorkers() []string {
 	infos := r.d.Registry.Workers()
 	out := make([]string, 0, len(infos))
 	for _, w := range infos {
-		if w.State != WorkerDead {
+		if w.State != WorkerDead && !w.Draining {
 			out = append(out, w.URL)
 		}
 	}
@@ -379,17 +493,20 @@ func (r *dispatchRun) availableWorkers() []string {
 }
 
 // takeLocalEligibleLocked removes and returns every pending chunk that no
-// available (non-dead) worker can still serve: each already failed it, or
-// every worker is dead. Callers hold mu.
+// available (non-dead, non-draining) worker can still serve — each already
+// failed it, every worker is dead or draining, or the retry budget retired
+// the chunk from remote dispatch. Callers hold mu.
 func (r *dispatchRun) takeLocalEligibleLocked(available []string) []*chunk {
 	var eligible []*chunk
 	keep := r.pending[:0]
 	for _, c := range r.pending {
 		viable := false
-		for _, w := range available {
-			if !c.attempted[w] {
-				viable = true
-				break
+		if !c.exhausted {
+			for _, w := range available {
+				if !c.attempted[w] {
+					viable = true
+					break
+				}
 			}
 		}
 		if viable {
@@ -478,7 +595,22 @@ func (r *dispatchRun) workerLoop(worker string) {
 		c.attempted[worker] = true
 		c.lastErr = err
 		c.stealable = true
+		c.attempts++
 		r.mu.Lock()
+		if r.retries < r.budget {
+			// Spend one retry: the chunk re-enters the queue after a seeded
+			// backoff instead of hitting the next worker immediately.
+			r.retries++
+			r.d.counters.retried()
+			if r.d.Totals != nil {
+				r.d.Totals.retried()
+			}
+			c.notBefore = time.Now().Add(retryDelay(r.d.Seed, c.start, c.attempts, r.d.RetryBaseDelay, r.d.RetryMaxDelay))
+		} else {
+			// Budget spent: retire the chunk from remote dispatch — the
+			// supervisor routes exhausted chunks to the local pool.
+			c.exhausted = true
+		}
 		r.pending = append(r.pending, c)
 		r.bcastLocked()
 		r.mu.Unlock()
@@ -505,9 +637,10 @@ func (r *dispatchRun) next(worker string) (*chunk, bool) {
 		}
 		// Healthy workers pull normally; suspect workers pull too (with no
 		// affinity ownership), so one successful chunk heals them even in a
-		// registry with no probe loop. Only dead workers park until the
-		// probe loop or a re-registration revives them.
-		if state != WorkerDead {
+		// registry with no probe loop. Dead workers park until the probe
+		// loop or a re-registration revives them; draining workers park
+		// until they re-register or deregister.
+		if state != WorkerDead && !r.d.Registry.IsDraining(worker) {
 			if c, stolen := r.takeLocked(worker, r.d.Registry.Healthy()); c != nil {
 				r.mu.Unlock()
 				return c, stolen
@@ -533,8 +666,9 @@ func (r *dispatchRun) next(worker string) (*chunk, bool) {
 // back on recovery.
 func (r *dispatchRun) takeLocked(worker string, healthy []string) (*chunk, bool) {
 	steal := -1
+	now := time.Now()
 	for i, c := range r.pending {
-		if c.attempted[worker] {
+		if c.attempted[worker] || c.exhausted || now.Before(c.notBefore) {
 			continue
 		}
 		owner := rendezvousOwner(c.family, healthy)

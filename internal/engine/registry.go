@@ -65,10 +65,71 @@ func (s *WorkerState) UnmarshalText(b []byte) error {
 	return nil
 }
 
+// BreakerState is the circuit-breaker reading of a worker's health machine —
+// the operator-facing vocabulary reported by /v1/workers and /v1/healthz:
+//
+//	closed    the circuit passes traffic: the worker (healthy or suspect)
+//	          may receive chunks
+//	open      the circuit is tripped: DeadAfter consecutive failures retired
+//	          the worker from dispatch; only probes reach it
+//	half-open an open breaker's trial probe is in flight — one success closes
+//	          the circuit (full readmission), one failure re-opens it
+//
+// The breaker is derived, not stored: open <=> WorkerDead, half-open <=> a
+// dead worker currently under probe, closed otherwise. Re-registration (POST
+// /v1/workers) closes an open breaker immediately — the worker itself is the
+// most authoritative probe there is.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the wire spelling used by /v1/workers and /v1/healthz.
+func (b BreakerState) String() string {
+	switch b {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(b))
+	}
+}
+
+// MarshalText makes the state JSON-encode as its string form.
+func (b BreakerState) MarshalText() ([]byte, error) { return []byte(b.String()), nil }
+
+// UnmarshalText parses the wire spelling back (clients decoding /v1/workers).
+func (b *BreakerState) UnmarshalText(data []byte) error {
+	switch string(data) {
+	case "closed":
+		*b = BreakerClosed
+	case "open":
+		*b = BreakerOpen
+	case "half-open":
+		*b = BreakerHalfOpen
+	default:
+		return fmt.Errorf("engine: unknown breaker state %q", data)
+	}
+	return nil
+}
+
 // WorkerInfo is one worker's point-in-time registry snapshot.
 type WorkerInfo struct {
 	URL   string      `json:"url"`
 	State WorkerState `json:"state"`
+	// Breaker is the circuit-breaker reading of State (see BreakerState).
+	Breaker BreakerState `json:"breaker"`
+	// Draining marks a worker that announced a graceful shutdown: it stays
+	// in whatever health state it had (its probes still answer), but it is
+	// ineligible for new chunks and affinity ownership until it re-registers
+	// or deregisters.
+	Draining bool `json:"draining,omitempty"`
 	// ConsecutiveFailures counts probe/dispatch failures since the last
 	// success; DeadAfter of them turn a suspect worker dead.
 	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
@@ -112,6 +173,24 @@ type workerEntry struct {
 	state    WorkerState
 	failures int
 	lastErr  string
+	// probing marks a health probe currently in flight against this worker;
+	// on a dead worker that probe is the breaker's half-open trial.
+	probing bool
+	// draining marks a worker that announced a graceful shutdown (see
+	// WorkerInfo.Draining).
+	draining bool
+}
+
+// breaker derives the circuit-breaker reading of the entry's state.
+func (e *workerEntry) breaker() BreakerState {
+	switch {
+	case e.state == WorkerDead && e.probing:
+		return BreakerHalfOpen
+	case e.state == WorkerDead:
+		return BreakerOpen
+	default:
+		return BreakerClosed
+	}
 }
 
 // NewWorkerRegistry returns a registry holding the given seed workers, all
@@ -177,7 +256,29 @@ func (r *WorkerRegistry) Register(rawURL string) error {
 		e.failures = 0
 		e.lastErr = ""
 	}
+	// Registration also says "I am serving": a worker that drained and came
+	// back (or aborted its drain) rejoins the rotation.
+	e.draining = false
 	return nil
+}
+
+// MarkDraining flags (or unflags) a worker as draining: it keeps its health
+// state and keeps answering probes, but Healthy() — and with it affinity
+// ownership and new chunk placement — excludes it until it re-registers or
+// deregisters. Reports whether the worker is registered.
+func (r *WorkerRegistry) MarkDraining(rawURL string, draining bool) bool {
+	key, err := workerKey(rawURL)
+	if err != nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.workers[key]
+	if e == nil {
+		return false
+	}
+	e.draining = draining
+	return true
 }
 
 // Deregister removes a worker (matched under the same normalization as
@@ -194,6 +295,17 @@ func (r *WorkerRegistry) Deregister(rawURL string) bool {
 	}
 	delete(r.workers, key)
 	return true
+}
+
+// IsDraining reports whether the worker is currently marked draining.
+func (r *WorkerRegistry) IsDraining(url string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.workers[url]
+	return e != nil && e.draining
 }
 
 // State returns a worker's current state and whether it is registered.
@@ -230,7 +342,7 @@ func (r *WorkerRegistry) Healthy() []string {
 	defer r.mu.Unlock()
 	var out []string
 	for _, e := range r.workers {
-		if e.state == WorkerHealthy {
+		if e.state == WorkerHealthy && !e.draining {
 			out = append(out, e.url)
 		}
 	}
@@ -265,6 +377,8 @@ func (r *WorkerRegistry) Workers() []WorkerInfo {
 		out = append(out, WorkerInfo{
 			URL:                 e.url,
 			State:               e.state,
+			Breaker:             e.breaker(),
+			Draining:            e.draining,
 			ConsecutiveFailures: e.failures,
 			LastError:           e.lastErr,
 		})
@@ -308,23 +422,39 @@ func (r *WorkerRegistry) ReportFailure(url string, err error) {
 }
 
 // Probe runs one health sweep: every registered worker's /v1/healthz is
-// fetched concurrently under ProbeTimeout and the outcome reported. Exported
-// so tests (and operators embedding the registry) can force a deterministic
-// sweep without waiting for the probe loop.
+// fetched concurrently under ProbeTimeout and the outcome reported. While a
+// dead worker's probe is in flight its breaker reads half-open — the trial
+// request that decides between readmission (success closes the breaker) and
+// staying retired (failure re-opens it). Exported so tests (and operators
+// embedding the registry) can force a deterministic sweep without waiting for
+// the probe loop.
 func (r *WorkerRegistry) Probe(ctx context.Context) {
 	var wg sync.WaitGroup
 	for _, u := range r.URLs() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := r.probeOne(ctx, u); err != nil {
+			r.setProbing(u, true)
+			err := r.probeOne(ctx, u)
+			if err != nil {
 				r.ReportFailure(u, err)
 			} else {
 				r.ReportSuccess(u)
 			}
+			r.setProbing(u, false)
 		}()
 	}
 	wg.Wait()
+}
+
+// setProbing flags a probe in flight against the worker (the half-open window
+// of an open breaker).
+func (r *WorkerRegistry) setProbing(url string, probing bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.workers[url]; e != nil {
+		e.probing = probing
+	}
 }
 
 func (r *WorkerRegistry) probeOne(ctx context.Context, worker string) error {

@@ -244,3 +244,178 @@ func TestRendezvousOwner(t *testing.T) {
 		t.Error("empty worker set has an owner")
 	}
 }
+
+// breakerOf reads a worker's breaker state from the registry snapshot.
+func breakerOf(t *testing.T, r *WorkerRegistry, url string) BreakerState {
+	t.Helper()
+	for _, w := range r.Workers() {
+		if w.URL == url {
+			return w.Breaker
+		}
+	}
+	t.Fatalf("worker %s not registered", url)
+	return 0
+}
+
+// TestWorkerBreakerTransitions drives the circuit breaker through its full
+// cycle with deterministic Probe sweeps (no sleeps, no probe loop): closed
+// while healthy and suspect, open after DeadAfter consecutive failures, and —
+// per case — a half-open trial probe that either fails (breaker re-opens) or
+// succeeds (breaker closes with full readmission).
+func TestWorkerBreakerTransitions(t *testing.T) {
+	cases := []struct {
+		name        string
+		trialUp     bool // whether the half-open trial probe succeeds
+		wantBreaker BreakerState
+		wantState   WorkerState
+		wantHealthy int // len(Healthy()) after the trial
+	}{
+		{name: "half-open trial fails, breaker re-opens", trialUp: false, wantBreaker: BreakerOpen, wantState: WorkerDead, wantHealthy: 0},
+		{name: "half-open trial succeeds, breaker closes", trialUp: true, wantBreaker: BreakerClosed, wantState: WorkerHealthy, wantHealthy: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, down := flappableHealthz(t)
+			r := NewWorkerRegistry(RegistryConfig{DeadAfter: 2, ProbeTimeout: time.Second}, srv.URL)
+			ctx := context.Background()
+
+			if got := breakerOf(t, r, srv.URL); got != BreakerClosed {
+				t.Fatalf("fresh worker breaker %v, want closed", got)
+			}
+			down.Store(true)
+			r.Probe(ctx)
+			if got := breakerOf(t, r, srv.URL); got != BreakerClosed {
+				t.Fatalf("suspect worker breaker %v, want closed (suspects still pass traffic)", got)
+			}
+			r.Probe(ctx)
+			if got := breakerOf(t, r, srv.URL); got != BreakerOpen {
+				t.Fatalf("after DeadAfter failures breaker %v, want open", got)
+			}
+
+			down.Store(!tc.trialUp)
+			r.Probe(ctx) // the half-open trial
+			if got := breakerOf(t, r, srv.URL); got != tc.wantBreaker {
+				t.Fatalf("after trial probe breaker %v, want %v", got, tc.wantBreaker)
+			}
+			if got := workerState(t, r, srv.URL); got != tc.wantState {
+				t.Fatalf("after trial probe state %v, want %v", got, tc.wantState)
+			}
+			if got := len(r.Healthy()); got != tc.wantHealthy {
+				t.Fatalf("after trial probe len(Healthy()) = %d, want %d", got, tc.wantHealthy)
+			}
+
+			// A failed trial leaves the breaker one good probe away from
+			// closing; a successful one leaves nothing to re-open it.
+			down.Store(false)
+			r.Probe(ctx)
+			if got := breakerOf(t, r, srv.URL); got != BreakerClosed {
+				t.Fatalf("follow-up good probe left breaker %v", got)
+			}
+		})
+	}
+}
+
+// TestWorkerBreakerHalfOpenWindow observes the half-open state from inside
+// the trial itself: the probed worker's healthz handler snapshots the
+// registry mid-probe, so the assertion needs no sleeps and no timing window —
+// if the probe is in flight against an open breaker, the snapshot must say
+// half-open.
+func TestWorkerBreakerHalfOpenWindow(t *testing.T) {
+	var regHolder atomic.Pointer[WorkerRegistry]
+	var seen atomic.Value // BreakerState observed during the trial probe
+	var down atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r := regHolder.Load(); r != nil {
+			for _, wi := range r.Workers() {
+				seen.Store(wi.Breaker)
+			}
+		}
+		if down.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(srv.Close)
+
+	r := NewWorkerRegistry(RegistryConfig{DeadAfter: 1, ProbeTimeout: time.Second}, srv.URL)
+	regHolder.Store(r)
+	ctx := context.Background()
+
+	down.Store(true)
+	r.Probe(ctx) // DeadAfter=1: straight to dead, breaker open
+	if got := breakerOf(t, r, srv.URL); got != BreakerOpen {
+		t.Fatalf("breaker %v, want open", got)
+	}
+
+	down.Store(false)
+	r.Probe(ctx) // the readmission trial
+	if got, ok := seen.Load().(BreakerState); !ok || got != BreakerHalfOpen {
+		t.Fatalf("breaker observed during trial probe = %v, want half-open", seen.Load())
+	}
+	if got := breakerOf(t, r, srv.URL); got != BreakerClosed {
+		t.Fatalf("breaker after successful trial %v, want closed", got)
+	}
+}
+
+// TestWorkerRegistryDraining: a draining worker keeps its health state and
+// visibility but leaves the dispatchable set, and re-registration (the worker
+// coming back) clears the flag.
+func TestWorkerRegistryDraining(t *testing.T) {
+	r := NewWorkerRegistry(RegistryConfig{DeadAfter: 3}, "http://w1:1", "http://w2:1")
+	if !r.MarkDraining("http://w1:1/", true) { // normalized like Register
+		t.Fatal("MarkDraining of registered worker reported false")
+	}
+	if r.MarkDraining("http://nobody:1", true) {
+		t.Fatal("MarkDraining of unknown worker reported true")
+	}
+	if h := r.Healthy(); len(h) != 1 || h[0] != "http://w2:1" {
+		t.Fatalf("Healthy() with one draining worker = %v", h)
+	}
+	if got := workerState(t, r, "http://w1:1"); got != WorkerHealthy {
+		t.Fatalf("draining flipped health state to %v", got)
+	}
+	var info WorkerInfo
+	for _, w := range r.Workers() {
+		if w.URL == "http://w1:1" {
+			info = w
+		}
+	}
+	if !info.Draining || info.Breaker != BreakerClosed {
+		t.Fatalf("draining worker snapshot %+v", info)
+	}
+
+	// Un-mark restores eligibility; so does re-registration.
+	if !r.MarkDraining("http://w1:1", false) {
+		t.Fatal("un-mark reported false")
+	}
+	if h := r.Healthy(); len(h) != 2 {
+		t.Fatalf("Healthy() after un-mark = %v", h)
+	}
+	r.MarkDraining("http://w1:1", true)
+	if err := r.Register("http://w1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Healthy(); len(h) != 2 {
+		t.Fatalf("Healthy() after re-registration = %v", h)
+	}
+}
+
+// TestBreakerStateText: the breaker's wire spellings round-trip, matching the
+// /v1/workers JSON contract.
+func TestBreakerStateText(t *testing.T) {
+	for _, b := range []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen} {
+		text, err := b.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back BreakerState
+		if err := back.UnmarshalText(text); err != nil || back != b {
+			t.Fatalf("round-trip of %v: got %v, err %v", b, back, err)
+		}
+	}
+	var bad BreakerState
+	if err := bad.UnmarshalText([]byte("fried")); err == nil {
+		t.Fatal("unknown spelling accepted")
+	}
+}

@@ -114,9 +114,8 @@ type ShardExecutor struct {
 	Shards int
 	// Client issues the worker requests; nil selects http.DefaultClient.
 	Client *http.Client
-	// RequestTimeout bounds one range request (default 10 min; a range is
-	// many full period-selection solves). On expiry the range falls back to
-	// local execution.
+	// RequestTimeout bounds one range request (default DefaultRequestTimeout).
+	// On expiry the range falls back to local execution.
 	RequestTimeout time.Duration
 	// LocalFallback configures the in-process pool executing failed ranges
 	// and non-wire-codable campaigns; its zero value runs at GOMAXPROCS.
@@ -238,18 +237,28 @@ func (s *ShardExecutor) dispatch(ctx context.Context, worker string, cells []Cel
 	return postCellRange(ctx, s.Client, worker, specs, s.RequestTimeout)
 }
 
+// DefaultRequestTimeout bounds one /v1/cells/execute range request when the
+// sender configured no explicit RequestTimeout (a range is many full
+// period-selection solves, so the default is generous). It is the sender's
+// own patience, not the campaign's: when the caller propagated a tighter
+// deadline through ctx, context.WithTimeout below keeps the earlier of the
+// two, so the effective budget is min(campaign deadline, request timeout).
+const DefaultRequestTimeout = 10 * time.Minute
+
 // postCellRange ships one spec range to a worker's /v1/cells/execute and
 // validates the response shape: a result per cell, keys matching in order —
 // the sender half of the shard protocol, shared by the ShardExecutor and the
-// Dispatcher. A timeout <= 0 selects 10 minutes (a range is many full
-// period-selection solves); a nil client selects http.DefaultClient.
+// Dispatcher. A timeout <= 0 selects DefaultRequestTimeout; a nil client
+// selects http.DefaultClient. The request's effective deadline — the earlier
+// of ctx's propagated deadline and the timeout — is advertised to the worker
+// via DeadlineHeader so it can refuse ranges it cannot finish in time.
 func postCellRange(ctx context.Context, client *http.Client, worker string, specs []CellSpec, timeout time.Duration) ([]WireCellResult, error) {
 	body, err := json.Marshal(ExecuteCellsRequest{Cells: specs})
 	if err != nil {
 		return nil, err
 	}
 	if timeout <= 0 {
-		timeout = 10 * time.Minute
+		timeout = DefaultRequestTimeout
 	}
 	rctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
@@ -259,6 +268,7 @@ func postCellRange(ctx context.Context, client *http.Client, worker string, spec
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	stampDeadline(req)
 	if client == nil {
 		client = http.DefaultClient
 	}

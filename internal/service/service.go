@@ -14,6 +14,14 @@
 // family-affine chunks, failed chunks re-dispatch to other workers before
 // any local fallback, with bit-identical results every way.
 //
+// The serving surface is resilient by construction: request deadlines
+// (deadline_ms / X-SPG-Deadline) propagate through the dispatcher into every
+// worker request, workers refuse ranges they cannot finish in the remaining
+// budget, load shedding answers 429 with Retry-After, per-worker circuit
+// breakers surface in /v1/healthz, and StartDrain turns the process
+// affinity-ineligible without tripping anyone's breaker. See
+// internal/chaos for the deterministic fault layer that tests all of it.
+//
 // Endpoints (see cmd/spgserve/README.md for curl examples):
 //
 //	GET    /v1/healthz          liveness, cache statistics, worker registry
@@ -35,6 +43,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +73,11 @@ type Config struct {
 	// ChunkCells is the dispatcher's chunk size for registry-scheduled
 	// campaigns (0 selects engine.DefaultChunkCells).
 	ChunkCells int
+	// Client issues the dispatcher's worker requests; nil selects
+	// http.DefaultClient. cmd/spgserve's -chaos flag swaps in a
+	// fault-injecting chaos.Transport here, so the whole cluster scheduling
+	// path can be exercised under deterministic faults.
+	Client *http.Client
 	// OnFallback, when set, observes every dispatched chunk that fell back
 	// to the local pool (cmd/spgserve logs them; counters alone lose the
 	// triggering errors).
@@ -83,6 +97,18 @@ type Config struct {
 	// pool — the worker-side counterpart of MaxActiveCampaigns, so a
 	// coordinator with an absurd shard count cannot oversubscribe a worker.
 	MaxActiveRanges int
+	// MaxActiveMaps bounds concurrently executing /v1/map solves (default
+	// 4); requests beyond it answer 429 with a Retry-After, mirroring
+	// MaxActiveRanges — a map request is a full period-selection solve, so
+	// unbounded concurrency would oversubscribe the pool exactly the way
+	// unbounded ranges would.
+	MaxActiveMaps int
+	// MinRangeBudget is the admission floor for propagated deadlines on
+	// /v1/cells/execute (default 20 ms): a range advertising less remaining
+	// budget than this is rejected up front with 503 — the worker cannot
+	// plausibly finish it, so burning the pool on work the sender will have
+	// abandoned helps nobody.
+	MinRangeBudget time.Duration
 	// JobTTL bounds how long finished campaign jobs stay pollable (default
 	// 1 h; negative disables the time bound). Expired jobs are pruned on
 	// the next campaign request.
@@ -105,6 +131,9 @@ type Server struct {
 	disp        *engine.Dispatcher       // prototype, cloned per registry-scheduled job
 	dispTotals  *engine.DispatcherTotals // process-lifetime scheduling counters
 	rangeSem    chan struct{}            // bounds concurrent /v1/cells/execute ranges
+	mapSem      chan struct{}            // bounds concurrent /v1/map solves
+	minBudget   time.Duration            // admission floor for propagated range deadlines
+	draining    atomic.Bool              // graceful drain: refuse new work, stay probe-alive
 	maxGrid     int
 	maxCells    int
 	maxActive   int
@@ -159,6 +188,12 @@ func New(cfg Config) *Server {
 	if cfg.MaxActiveRanges <= 0 {
 		cfg.MaxActiveRanges = 4
 	}
+	if cfg.MaxActiveMaps <= 0 {
+		cfg.MaxActiveMaps = 4
+	}
+	if cfg.MinRangeBudget <= 0 {
+		cfg.MinRangeBudget = 20 * time.Millisecond
+	}
 	if cfg.JobTTL == 0 {
 		cfg.JobTTL = time.Hour
 	}
@@ -201,12 +236,15 @@ func New(cfg Config) *Server {
 		disp: &engine.Dispatcher{
 			Registry:      cfg.Registry,
 			ChunkCells:    cfg.ChunkCells,
+			Client:        cfg.Client,
 			LocalFallback: pool,
 			OnFallback:    cfg.OnFallback,
 			Totals:        totals,
 		},
 		dispTotals:  totals,
 		rangeSem:    make(chan struct{}, cfg.MaxActiveRanges),
+		mapSem:      make(chan struct{}, cfg.MaxActiveMaps),
+		minBudget:   cfg.MinRangeBudget,
 		maxGrid:     cfg.MaxGrid,
 		maxCells:    cfg.MaxCampaignCells,
 		maxActive:   cfg.MaxActiveCampaigns,
@@ -216,6 +254,18 @@ func New(cfg Config) *Server {
 		jobs:        make(map[string]*job),
 	}
 }
+
+// StartDrain puts the server into graceful-drain mode: new work — map
+// solves, campaign submissions and cell ranges — answers 503 so senders
+// re-route immediately, while /v1/healthz keeps answering 200 (status
+// "draining") so a coordinator's probes never mistake the drain for a crash
+// and trip the circuit breaker. In-flight requests are unaffected; the
+// process-level shutdown (http.Server.Shutdown in cmd/spgserve) waits for
+// them. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -248,9 +298,14 @@ type healthzResponse struct {
 	Dispatcher *engine.DispatcherStats `json:"dispatcher,omitempty"`
 }
 
-// workerRequest names one worker for POST/DELETE /v1/workers.
+// workerRequest names one worker for POST/DELETE /v1/workers. Draining is
+// the graceful-shutdown announcement: a worker POSTs {url, draining:true}
+// when it receives SIGTERM, which keeps it registered (and probe-alive) but
+// removes it from chunk placement until it re-registers plainly or
+// deregisters.
 type workerRequest struct {
-	URL string `json:"url"`
+	URL      string `json:"url"`
+	Draining bool   `json:"draining,omitempty"`
 }
 
 type workersResponse struct {
@@ -282,6 +337,10 @@ type mapRequest struct {
 	P        int         `json:"p"`
 	Q        int         `json:"q"`
 	Seed     int64       `json:"seed"`
+	// DeadlineMS is the client's time budget in milliseconds; past it the
+	// request answers 504 instead of a result. The X-SPG-Deadline header is
+	// an equivalent spelling (the body field wins when both are set).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 type mapResponse struct {
@@ -307,6 +366,12 @@ type campaignRequest struct {
 	Workers    []string `json:"workers,omitempty"`
 	Shards     int      `json:"shards,omitempty"`
 	ChunkCells int      `json:"chunk_cells,omitempty"`
+	// DeadlineMS bounds the whole campaign in milliseconds: the budget
+	// flows through the dispatcher into every worker request (workers
+	// reject ranges they cannot finish in the remainder), and a campaign
+	// that outlives it fails with "deadline exceeded". The X-SPG-Deadline
+	// header is an equivalent spelling (the body field wins).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 type streamItCampaignRequest struct {
@@ -349,6 +414,10 @@ type campaignStatusResponse struct {
 	// Steals counts chunks served by a worker other than their
 	// cache-affinity owner (idle workers evening out load).
 	Steals int64 `json:"steals,omitempty"`
+	// Retries counts remote dispatch retries this campaign consumed from
+	// its RetryBudget; RetryBudget is the campaign's total allowance.
+	Retries     int64 `json:"retries,omitempty"`
+	RetryBudget int64 `json:"retry_budget,omitempty"`
 	// WorkerChunks attributes this campaign's chunks to the workers that
 	// served them.
 	WorkerChunks map[string]int64 `json:"worker_chunks,omitempty"`
@@ -373,8 +442,34 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeShedError answers a load-shedding rejection with a Retry-After hint
+// (RFC 9110 §10.2.3) so well-behaved clients back off instead of hammering.
+func writeShedError(w http.ResponseWriter, code, retryAfterSeconds int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeError(w, code, format, args...)
+}
+
+// resolveDeadline merges the two spellings of a request deadline — the JSON
+// body's deadline_ms and the X-SPG-Deadline header — into one budget; the
+// body field wins when both are present.
+func resolveDeadline(h http.Header, bodyMS int64) (time.Duration, bool, error) {
+	if bodyMS < 0 {
+		return 0, false, fmt.Errorf("deadline_ms %d is negative", bodyMS)
+	}
+	if bodyMS > 0 {
+		return time.Duration(bodyMS) * time.Millisecond, true, nil
+	}
+	return engine.ParseDeadlineHeader(h)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthzResponse{Status: "ok", Cache: s.cache.Stats()}
+	if s.draining.Load() {
+		// Still 200: a draining worker is alive and finishing in-flight work;
+		// answering an error here would trip the coordinator's breaker and
+		// turn every graceful restart into a spurious death.
+		resp.Status = "draining"
+	}
 	resp.Workers = s.registry.Workers()
 	if st := s.dispTotals.Stats(); st.Chunks > 0 || len(resp.Workers) > 0 {
 		resp.Dispatcher = &st
@@ -398,6 +493,11 @@ func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
 	if err := s.registry.Register(req.URL); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
+	}
+	if req.Draining {
+		// Register first, then mark: registration clears any stale draining
+		// flag, so the order makes {draining:true} land deterministically.
+		s.registry.MarkDraining(req.URL, true)
 	}
 	writeJSON(w, http.StatusOK, workersResponse{Workers: s.registry.Workers()})
 }
@@ -468,8 +568,14 @@ func (s *Server) cellFor(spec workloadRef, p, q int, seed int64) (engine.Cell, e
 // return the period-selection result. Infeasible workloads — no heuristic
 // succeeds even at the 1 s starting period — answer 422 with feasible=false
 // and the failing outcomes, distinguishing "the service cannot map this"
-// from request errors.
+// from request errors. Concurrency is bounded by MaxActiveMaps (beyond it,
+// 429 + Retry-After), and a deadline_ms / X-SPG-Deadline budget turns an
+// overrunning solve into 504 at the deadline.
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeShedError(w, http.StatusServiceUnavailable, 1, "draining: not accepting new work")
+		return
+	}
 	var req mapRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -481,15 +587,46 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
+	budget, hasBudget, err := resolveDeadline(r.Header, req.DeadlineMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
 	cell, err := s.cellFor(req.Workload, req.P, req.Q, req.Seed)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
+	// Admission control: a map request is a full period-selection solve, so
+	// concurrency is bounded exactly like worker ranges — shed, don't queue.
+	select {
+	case s.mapSem <- struct{}{}:
+		defer func() { <-s.mapSem }()
+	default:
+		writeShedError(w, http.StatusTooManyRequests, 1, "%d map requests already executing; retry later", cap(s.mapSem))
+		return
+	}
+	ctx := r.Context()
+	if hasBudget {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
 	// Keep placements so the answer is actionable: the response carries the
 	// winning mapping, not just its energy.
 	cell.Spec.Opts.KeepMappings = true
-	res := engine.Solve(cell, s.cache)
+	// Solve on a side goroutine so the handler can answer 504 at the
+	// deadline; an abandoned solve runs out on the pool (bounded by mapSem)
+	// and still warms the shared cache for the client's retry.
+	solved := make(chan engine.CellResult, 1)
+	go func() { solved <- engine.Solve(cell, s.cache) }()
+	var res engine.CellResult
+	select {
+	case res = <-solved:
+	case <-ctx.Done():
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the solve finished")
+		return
+	}
 	if res.Err != nil {
 		writeError(w, http.StatusInternalServerError, "workload build failed: %v", res.Err)
 		return
@@ -515,8 +652,25 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 // local pool against the shared campaign cache, and answers one wire result
 // per cell in request order. Specs are validated up front so a malformed
 // range is rejected whole (the coordinator falls back to local execution)
-// rather than half-executed.
+// rather than half-executed. A propagated DeadlineHeader budget is honored
+// two ways: a range that cannot plausibly finish (budget below
+// MinRangeBudget) is refused outright with 503, and an admitted range solves
+// under a context bounded by the budget so an overrun stops at the deadline
+// instead of burning the pool on an answer the sender has abandoned.
 func (s *Server) handleCellsExecute(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeShedError(w, http.StatusServiceUnavailable, 1, "draining: not accepting new ranges")
+		return
+	}
+	budget, hasBudget, err := engine.ParseDeadlineHeader(r.Header)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if hasBudget && budget < s.minBudget {
+		writeShedError(w, http.StatusServiceUnavailable, 1, "remaining budget %v below the %v admission floor", budget, s.minBudget)
+		return
+	}
 	var req engine.ExecuteCellsRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -550,10 +704,20 @@ func (s *Server) handleCellsExecute(w http.ResponseWriter, r *http.Request) {
 	case s.rangeSem <- struct{}{}:
 		defer func() { <-s.rangeSem }()
 	default:
-		writeError(w, http.StatusTooManyRequests, "%d cell ranges already executing; retry later", cap(s.rangeSem))
+		writeShedError(w, http.StatusTooManyRequests, 1, "%d cell ranges already executing; retry later", cap(s.rangeSem))
 		return
 	}
-	results, err := engine.ExecuteSpecs(r.Context(), s.local, req.Cells, s.cache)
+	ctx := r.Context()
+	if hasBudget {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	results, err := engine.ExecuteSpecs(ctx, s.local, req.Cells, s.cache)
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the range finished")
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "execute failed: %v", err)
 		return
@@ -564,10 +728,19 @@ func (s *Server) handleCellsExecute(w http.ResponseWriter, r *http.Request) {
 // handleCampaignSubmit validates a campaign, registers a job and runs it
 // asynchronously on the shared executor; the response is the id to poll.
 func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeShedError(w, http.StatusServiceUnavailable, 1, "draining: not accepting new campaigns")
+		return
+	}
 	var req campaignRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	budget, hasBudget, err := resolveDeadline(r.Header, req.DeadlineMS)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
@@ -703,11 +876,20 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	s.pruneJobsLocked()
 	if s.running >= s.maxActive {
 		s.mu.Unlock()
-		writeError(w, http.StatusTooManyRequests, "%d campaigns already running, limit %d; retry later", s.maxActive, s.maxActive)
+		writeShedError(w, http.StatusTooManyRequests, 1, "%d campaigns already running, limit %d; retry later", s.maxActive, s.maxActive)
 		return
 	}
 	//spglint:ignore ctxflow async campaign outlives its submitting request; cancelled via DELETE /v1/campaign/{id}
 	ctx, cancel := context.WithCancel(context.Background())
+	if hasBudget {
+		// The campaign deadline layers over the cancellation context, so the
+		// budget flows through the dispatcher into every worker request (each
+		// postCellRange stamps the remainder into DeadlineHeader) and an
+		// overrunning campaign fails with "deadline exceeded".
+		dctx, dcancel := context.WithTimeout(ctx, budget)
+		base := cancel
+		ctx, cancel = dctx, func() { dcancel(); base() }
+	}
 	s.running++
 	s.nextID++
 	j := &job{id: fmt.Sprintf("c%d", s.nextID), seq: s.nextID, kind: kind, total: len(cells), status: "running", cancel: cancel, shard: shard, disp: disp}
@@ -744,6 +926,9 @@ func (s *Server) runCampaign(ctx context.Context, ex engine.Executor, j *job, ce
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		j.status = "failed"
+		j.errMsg = "deadline exceeded"
 	case errors.Is(err, context.Canceled):
 		j.status = "cancelled"
 		j.errMsg = "cancelled"
@@ -813,6 +998,8 @@ func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
 		resp.Redispatches = st.Redispatches
 		resp.LocalFallbacks = st.LocalFallbacks
 		resp.Steals = st.Steals
+		resp.Retries = st.Retries
+		resp.RetryBudget = st.RetryBudget
 		resp.WorkerChunks = st.WorkerChunks
 		resp.Fallbacks = st.LocalFallbacks
 	} else if j.shard != nil {
