@@ -525,6 +525,49 @@ func BenchmarkHeuristicDPA2D1DChain30(b *testing.B) {
 	benchHeuristic(b, core.NewDPA2D1D(), chainInstance(b))
 }
 
+// --- Single-cell kernel benchmarks (flattened DP kernels) ---
+
+// benchCellKernel times one heuristic in a pool worker's steady state: warm
+// analysis (every shared cache populated) and a worker-owned scratch arena
+// reset between solves. This isolates the DP kernels themselves — the target
+// of the bitset-downset / run-indexed-table / arena flattening — from
+// workload synthesis and cache warm-up.
+func benchCellKernel(b *testing.B, h core.Heuristic, inst core.Instance) {
+	b.Helper()
+	inst = inst.Analyzed()
+	inst.Scratch = core.NewScratch()
+	if _, err := h.Solve(inst); err != nil {
+		b.Fatal(err)
+	}
+	inst.Scratch.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = h.Solve(inst)
+		inst.Scratch.Reset()
+	}
+}
+
+func BenchmarkCellKernel(b *testing.B) {
+	dpa2dSweep4 := core.NewDPA2D()
+	dpa2dSweep4.Sweeps = 4
+	cases := []struct {
+		name string
+		h    core.Heuristic
+		inst func(*testing.B) core.Instance
+	}{
+		{"DPA2D/FMRadio", core.NewDPA2D(), fmRadioInstance},
+		{"DPA2DSweep4/FMRadio", dpa2dSweep4, fmRadioInstance},
+		{"DPA2D1D/FMRadio", core.NewDPA2D1D(), fmRadioInstance},
+		{"Greedy/FMRadio", core.NewGreedy(), fmRadioInstance},
+		{"Random/FMRadio", core.NewRandom(1), fmRadioInstance},
+		{"DPA1D/Chain30", core.NewDPA1D(), chainInstance},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { benchCellKernel(b, c.h, c.inst(b)) })
+	}
+}
+
 // --- Ablation benchmarks for the design choices called out in DESIGN.md ---
 
 // BenchmarkAblationRefinement measures the local-search post-pass

@@ -31,6 +31,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -157,6 +158,7 @@ func main() {
 		jobTTL        = flag.Duration("job-ttl", time.Hour, "how long finished campaign jobs stay pollable (negative disables)")
 		maxJobs       = flag.Int("max-finished-jobs", 64, "retained finished campaign jobs, oldest evicted first (negative disables)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests before exiting")
+		pprofAddr     = flag.String("pprof-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty = disabled); bind to loopback, the endpoints are unauthenticated")
 		chaosSpec     = flag.String("chaos", "", `deterministic fault injection on outgoing dispatch requests, e.g. "delay,d=400ms,path=/v1/cells/execute,every=3;status,code=500,every=5" (see internal/chaos)`)
 		chaosSeed     = flag.Int64("chaos-seed", 1, "seed for the -chaos probability gates (same seed, same faults)")
 		quickstart    = flag.Bool("h-examples", false, "print example requests and exit")
@@ -187,6 +189,16 @@ curl localhost:8080/v1/workers
 		}
 		dispatchClient = &http.Client{Transport: &chaos.Transport{Seed: *chaosSeed, Rules: rules}}
 		log.Printf("CHAOS: injecting %d fault rule(s) into dispatch requests (seed %d)", len(rules), *chaosSeed)
+	}
+
+	if *pprofAddr != "" {
+		// Profiling lives on its own listener so the service handler never
+		// exposes it: DefaultServeMux carries the net/http/pprof registrations
+		// from the import above, nothing else is registered on it here.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			log.Printf("pprof server stopped: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
 	}
 
 	cache := engine.NewAnalysisCacheBytes(*cacheSize, *cacheMB<<20)

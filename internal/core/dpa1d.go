@@ -249,12 +249,18 @@ func solve1D(inst Instance, ds *spg.DownsetSpace, maxTransitions int) ([][]int, 
 	}
 
 	const unset = -1
+	sc := inst.Scratch
 	type layer struct {
 		energy []float64
 		parent []int32
 	}
 	newLayer := func(states int) *layer {
-		l := &layer{energy: make([]float64, states), parent: make([]int32, states)}
+		// Layers are carved from the scratch arena with capacity headroom so
+		// grow's in-place appends stay inside the region reserved here; a run
+		// that interns more states than the headroom covers spills the layer
+		// onto the heap, which changes nothing but the allocator.
+		capHint := states + states/4 + 64
+		l := &layer{energy: sc.F64(capHint)[:states], parent: sc.I32(capHint)[:states]}
 		for i := range l.energy {
 			l.energy[i] = math.Inf(1)
 			l.parent[i] = unset
@@ -313,7 +319,7 @@ func solve1D(inst Instance, ds *spg.DownsetSpace, maxTransitions int) ([][]int, 
 		if err != nil {
 			return nil, err
 		}
-		se := &stateExp{exps: exps, chunk: make([]float64, len(exps))}
+		se := &stateExp{exps: exps, chunk: sc.F64(len(exps))}
 		for j, ex := range exps {
 			se.chunk[j] = chunkEnergy(ex.ChunkWork)
 		}
@@ -430,7 +436,7 @@ func finishSnake(name string, inst Instance, chunks [][]int) (*Solution, error) 
 		}
 		m.SetSpeed(pl, c, idx)
 	}
-	m.Paths = make(map[int][]platform.Link)
+	m.Paths = make(map[int][]platform.Link, len(g.Edges))
 	for e, edge := range g.Edges {
 		a, b := pos[edge.Src], pos[edge.Dst]
 		if a != b {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"spgcmp/internal/mapping"
 	"spgcmp/internal/platform"
@@ -27,6 +28,10 @@ import (
 // grid is much taller than it is deep.
 type DPA2D struct {
 	Transpose bool
+	// Sweeps caps the goroutines the outer DP uses for the independent
+	// per-band-end sweeps of one solve (Options.SweepParallelism); <= 1 runs
+	// serially. Any setting is bit-identical: see solve2D.
+	Sweeps int
 }
 
 // NewDPA2D returns the paper's orientation.
@@ -55,7 +60,7 @@ func (h *DPA2D) Solve(inst Instance) (*Solution, error) {
 			BW: inst.Platform.BW, EnergyPerGB: inst.Platform.EnergyPerGB,
 		}
 	}
-	plan, err := solve2D(inst.Analysis, pl, inst.Period)
+	plan, err := solve2D(inst.Analysis, pl, inst.Period, inst.Scratch, h.Sweeps)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +88,7 @@ func transposeMapping(g *spg.Graph, pl *platform.Platform, m *mapping.Mapping) *
 			out.SpeedIdx[u*pl.Q+v] = m.SpeedIdx[v*pl.P+u]
 		}
 	}
-	out.Paths = make(map[int][]platform.Link)
+	out.Paths = make(map[int][]platform.Link, len(g.Edges))
 	for e, edge := range g.Edges {
 		a, b := out.Alloc[edge.Src], out.Alloc[edge.Dst]
 		if a != b {
@@ -222,13 +227,16 @@ func (e *engine2D) band(m1, m2 int) *spg.Band {
 
 // bandEcal returns the engine's rectangle-energy cache for band b, seeding
 // it on first use from the shared per-period snapshot (warm after any
-// earlier engine at this period probed the band).
-func (e *engine2D) bandEcal(b *spg.Band) []float64 {
+// earlier engine at this period probed the band). The table may live in sc:
+// publishEcal copies entries out on exit, so nothing shared outlives the
+// arena. Parallel sweeps never collide here — a band's key is determined by
+// its last level M2, and each sweep goroutine owns distinct band ends.
+func (e *engine2D) bandEcal(b *spg.Band, sc *Scratch) []float64 {
 	key := b.M1*(e.xmax+1) + b.M2
 	if ec := e.ecal[key]; ec != nil {
 		return ec
 	}
-	ec := e.pt.snapshot(key, (e.ymax+2)*(e.ymax+2))
+	ec := e.pt.snapshotInto(key, sc.F64((e.ymax+2)*(e.ymax+2)))
 	e.ecal[key] = ec
 	return ec
 }
@@ -281,16 +289,20 @@ type innerResult struct {
 // terminating in the band climb or descend from their arrival row to the
 // core of their destination stage; arrivals destined beyond the band are
 // forwarded horizontally and do not touch vertical links.
-func (e *engine2D) inner(b *spg.Band, arrivals []distEntry) (innerResult, bool) {
+func (e *engine2D) inner(b *spg.Band, arrivals []distEntry, sc *Scratch) (innerResult, bool) {
 	P := e.pl.P
 	ymax := e.ymax
-	ec := e.bandEcal(b)
+	ec := e.bandEcal(b, sc)
 
 	// 2D prefix sums of terminating arrival volume by (arrival row, dest y):
-	// t2d[r][y] = volume with row < r and dest y <= y.
-	t2d := make([][]float64, P+1)
-	for r := 0; r <= P; r++ {
-		t2d[r] = make([]float64, ymax+1)
+	// t2d[r][y] = volume with row < r and dest y <= y. Arena rows come back
+	// dirty, so the zero fill the old make() provided is now explicit.
+	t2d := sc.F64Rows(P+1, ymax+1)
+	for r := range t2d {
+		row := t2d[r]
+		for y := range row {
+			row[y] = 0
+		}
 	}
 	for _, d := range arrivals {
 		edge := e.g.Edges[d.edge]
@@ -329,11 +341,9 @@ func (e *engine2D) inner(b *spg.Band, arrivals []distEntry) (innerResult, bool) 
 		return (up + down) * e.pl.EnergyPerGB
 	}
 
-	dp := make([][]float64, ymax+1)
-	par := make([][]int, ymax+1)
+	dp := sc.F64Rows(ymax+1, P+1)
+	par := sc.IntRows(ymax+1, P+1)
 	for g := 0; g <= ymax; g++ {
-		dp[g] = make([]float64, P+1)
-		par[g] = make([]int, P+1)
 		for u := 0; u <= P; u++ {
 			dp[g][u] = math.Inf(1)
 			par[g][u] = -1
@@ -373,7 +383,7 @@ func (e *engine2D) inner(b *spg.Band, arrivals []distEntry) (innerResult, bool) 
 	if math.IsInf(dp[ymax][P], 1) {
 		return innerResult{}, false
 	}
-	cuts := make([]int, P+1)
+	cuts := sc.Ints(P + 1)
 	cuts[P] = ymax
 	for u := P; u >= 1; u-- {
 		cuts[u-1] = par[cuts[u]][u]
@@ -384,23 +394,45 @@ func (e *engine2D) inner(b *spg.Band, arrivals []distEntry) (innerResult, bool) 
 // outDistribution builds the outgoing distribution D of a band solved with
 // the given cuts: forwarded arrivals keep their row; new outgoing
 // communications are emitted on the row of the core hosting their source.
-func (e *engine2D) outDistribution(b *spg.Band, arrivals []distEntry, cuts []int) []distEntry {
-	var out []distEntry
+// The result is exactly sized (counted first, filled by index) so the arena
+// never over-allocates for append growth.
+func (e *engine2D) outDistribution(b *spg.Band, arrivals []distEntry, cuts []int, sc *Scratch) []distEntry {
+	fwd := 0
 	for _, d := range arrivals {
 		if e.g.Stages[e.g.Edges[d.edge].Dst].Label.X > b.M2 {
-			out = append(out, d)
+			fwd++
+		}
+	}
+	out := sc.distEntries(fwd + len(b.Outgoing))
+	i := 0
+	for _, d := range arrivals {
+		if e.g.Stages[e.g.Edges[d.edge].Dst].Label.X > b.M2 {
+			out[i] = d
+			i++
 		}
 	}
 	for _, ei := range b.Outgoing {
 		y := e.g.Stages[e.g.Edges[ei].Src].Label.Y
-		out = append(out, distEntry{edge: ei, row: rowCore(cuts, y)})
+		out[i] = distEntry{edge: ei, row: rowCore(cuts, y)}
+		i++
 	}
 	return out
 }
 
 // solve2D runs the nested DP on the label grid of an's graph against pl and
-// returns the best plan over all numbers of used columns.
-func solve2D(an *spg.Analysis, pl *platform.Platform, T float64) (*plan2D, error) {
+// returns the best plan over all numbers of used columns. Tables are carved
+// from sc (nil allocates normally); sweeps > 1 computes the independent
+// band-end states of each outer layer in parallel.
+//
+// Parallelism is bit-identical by construction: within one layer v, the state
+// of band end m reads only layer v-1 and writes only rows[v][m]; the shared
+// structures it touches are either keyed by m (the engine's ecal tables, band
+// key M2 = m) or mutex-guarded pure memos whose values don't depend on which
+// goroutine fills them first (band contexts, speed thresholds, period
+// snapshots). The per-m work-budget skip replaces the serial loop's early
+// break: rectWork grows monotonically with the band, so the skipped set is
+// the same.
+func solve2D(an *spg.Analysis, pl *platform.Platform, T float64, sc *Scratch, sweeps int) (*plan2D, error) {
 	e := newEngine2D(an, pl, T)
 	defer e.publishEcal()
 	xmax := e.xmax
@@ -428,40 +460,81 @@ func solve2D(an *spg.Analysis, pl *platform.Platform, T float64) (*plan2D, error
 	rows := make([][]outerState, vmax+1)
 	rows[0] = newRow() // unused; bands are 1-based in v
 
-	// v = 1: a single band of levels [1..m].
+	// sweep runs fn(m, w) for every m in [lo..hi], striding the range across
+	// up to `sweeps` goroutines, each with its own Scratch child so arena
+	// allocation stays lock-free. fn owns rows[·][m] exclusively; the
+	// wg.Wait barrier publishes every write before the next layer reads it.
+	sweep := func(lo, hi int, fn func(m int, w *Scratch)) {
+		n := hi - lo + 1
+		if n <= 0 {
+			return
+		}
+		workers := sweeps
+		if workers > n {
+			workers = n
+		}
+		if workers <= 1 {
+			for m := lo; m <= hi; m++ {
+				fn(m, sc)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := sc.Child(w)
+				for m := lo + w; m <= hi; m += workers {
+					fn(m, ws)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// v = 1: a single band of levels [1..m]. Overweight bands are skipped
+	// per-m (wider bands only grow heavier).
 	rows[1] = newRow()
-	for m := 1; m <= xmax; m++ {
+	sweep(1, xmax, func(m int, w *Scratch) {
 		if e.rectWork(1, m, 1, e.ymax) > colBudget {
-			break // wider bands only grow heavier
+			return
 		}
 		b := e.band(1, m)
-		ir, ok := e.inner(b, nil)
+		ir, ok := e.inner(b, nil, w)
 		if !ok {
-			continue
+			return
 		}
 		rows[1][m] = outerState{
 			energy: ir.energy,
 			prevM:  0,
 			cuts:   ir.cuts,
-			dist:   e.outDistribution(b, nil, ir.cuts),
+			dist:   e.outDistribution(b, nil, ir.cuts, w),
 		}
-	}
+	})
 
 	for v := 2; v <= vmax; v++ {
 		rows[v] = newRow()
-		for m := v; m <= xmax; m++ {
+		prevRow := rows[v-1]
+		sweep(v, xmax, func(m int, w *Scratch) {
 			best := &rows[v][m]
+			rowLoad := w.F64(pl.P)
 			for mp := m - 1; mp >= v-1; mp-- {
 				if e.rectWork(mp+1, m, 1, e.ymax) > colBudget {
 					break
 				}
-				prev := &rows[v-1][mp]
+				prev := &prevRow[mp]
 				if math.IsInf(prev.energy, 1) {
 					continue
 				}
 				// Horizontal crossing between columns v-1 and v: check the
-				// per-row bandwidth and charge one hop per entry.
-				rowLoad := make(map[int]float64)
+				// per-row bandwidth and charge one hop per entry. The loads
+				// accumulate into a dense per-row vector (rows are 0..P-1);
+				// the overload check is a commutative any-exceeds, so the
+				// scan order can't affect the verdict.
+				for r := range rowLoad {
+					rowLoad[r] = 0
+				}
 				var commE float64
 				feasible := true
 				for _, d := range prev.dist {
@@ -469,8 +542,8 @@ func solve2D(an *spg.Analysis, pl *platform.Platform, T float64) (*plan2D, error
 					rowLoad[d.row] += vol
 					commE += vol * pl.EnergyPerGB
 				}
-				for _, load := range rowLoad {
-					if load > e.capL*(1+1e-12) {
+				for r := 0; r < pl.P; r++ {
+					if rowLoad[r] > e.capL*(1+1e-12) {
 						feasible = false
 						break
 					}
@@ -479,7 +552,7 @@ func solve2D(an *spg.Analysis, pl *platform.Platform, T float64) (*plan2D, error
 					continue
 				}
 				b := e.band(mp+1, m)
-				ir, ok := e.inner(b, prev.dist)
+				ir, ok := e.inner(b, prev.dist, w)
 				if !ok {
 					continue
 				}
@@ -491,9 +564,9 @@ func solve2D(an *spg.Analysis, pl *platform.Platform, T float64) (*plan2D, error
 			}
 			if best.prevM >= 0 {
 				b := e.band(best.prevM+1, m)
-				best.dist = e.outDistribution(b, rows[v-1][best.prevM].dist, best.cuts)
+				best.dist = e.outDistribution(b, prevRow[best.prevM].dist, best.cuts, w)
 			}
-		}
+		})
 	}
 
 	bestV, bestE := -1, math.Inf(1)

@@ -57,6 +57,13 @@ type Instance struct {
 	// precomputed structures. The cache must wrap the same Graph; a
 	// mismatched cache is ignored.
 	Analysis *spg.Analysis
+
+	// Scratch optionally supplies the arena the DP kernels carve their
+	// tables from (see Scratch for the ownership and reset rules). nil makes
+	// the kernels allocate normally, so results are identical either way.
+	// Scratch is an execution resource, not part of the instance's identity,
+	// and is never wire-coded.
+	Scratch *Scratch
 }
 
 // NewInstance returns an instance with a fresh analysis cache attached, the
@@ -165,6 +172,12 @@ type Options struct {
 	DPA1DMaxStates int `json:"dpa1d_max_states,omitempty"`
 	// DPA1DMaxTransitions overrides the DPA1D transition budget.
 	DPA1DMaxTransitions int `json:"dpa1d_max_transitions,omitempty"`
+	// SweepParallelism caps the goroutines the DPA2D-family solvers may use
+	// for the independent band sweeps inside one cell; 0 or 1 keeps the
+	// sweeps serial. Every band state is computed by exactly one goroutine
+	// and reduced in a fixed order, so results are bit-identical at any
+	// setting — the knob trades cores for single-cell latency only.
+	SweepParallelism int `json:"sweep_parallelism,omitempty"`
 	// KeepMappings attaches each successful heuristic's placement to its
 	// outcome (CellOutcome.Mapping) instead of dropping it after evaluation.
 	// It never changes what is solved or reported — only whether the winning
@@ -197,11 +210,15 @@ func AllWith(o Options) []Heuristic {
 	if o.DPA1DMaxTransitions > 0 {
 		dpa1d.MaxTransitions = o.DPA1DMaxTransitions
 	}
+	dpa2d := NewDPA2D()
+	dpa2d.Sweeps = o.SweepParallelism
+	dpa2d1d := NewDPA2D1D()
+	dpa2d1d.Sweeps = o.SweepParallelism
 	return []Heuristic{
 		random,
 		NewGreedy(),
-		NewDPA2D(),
+		dpa2d,
 		dpa1d,
-		NewDPA2D1D(),
+		dpa2d1d,
 	}
 }

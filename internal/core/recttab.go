@@ -254,15 +254,20 @@ func (st *sigTables) speedIdx(bandKey, rectIdx, rects int, work, T float64, pl *
 	return -1
 }
 
-// snapshot returns a private copy of the shared energy table for a band
-// (size entries), NaN-filled where no engine has computed an entry yet.
-func (pt *periodTables) snapshot(bandKey, size int) []float64 {
-	tab := make([]float64, size)
+// snapshotInto fills tab — a caller-supplied (typically arena-backed) table —
+// with a private copy of the shared energy entries for a band, NaN-filled
+// where no engine has computed an entry yet, and returns it. The copy runs
+// under the lock so a concurrent publish's NaN->value fill can never be seen
+// half-written; which side of a racing fill the copy lands on is invisible
+// anyway, since the engine would recompute a missing entry to identical bits.
+func (pt *periodTables) snapshotInto(bandKey int, tab []float64) []float64 {
 	pt.mu.Lock()
 	src := pt.ecal[bandKey]
-	pt.mu.Unlock()
 	if src != nil {
 		copy(tab, src)
+	}
+	pt.mu.Unlock()
+	if src != nil {
 		return tab
 	}
 	for i := range tab {

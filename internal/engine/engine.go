@@ -29,6 +29,7 @@ package engine
 import (
 	"context"
 
+	"spgcmp/internal/core"
 	"spgcmp/internal/platform"
 	"spgcmp/internal/spg"
 )
@@ -119,6 +120,16 @@ func Run(ctx context.Context, ex Executor, c Campaign) ([]CellResult, error) {
 	if ce, ok := ex.(CampaignExecutor); ok {
 		return results, ce.ExecuteCampaign(ctx, c.Cells, solve, record)
 	}
+	if se, ok := ex.(ScratchExecutor); ok {
+		// Worker-owned arenas: each pool worker keeps one Scratch for its
+		// lifetime and the executor resets it between cells, so a warmed
+		// worker solves cells without kernel allocations. Results are
+		// identical to the plain path (Scratch's determinism contract).
+		err := se.ExecuteScratch(ctx, len(c.Cells), func(i int, sc *core.Scratch) {
+			record(solveCellScratch(i, c.Cells[i], resolve, sc))
+		})
+		return results, err
+	}
 	err := ex.Execute(ctx, len(c.Cells), func(i int) { record(solve(i)) })
 	return results, err
 }
@@ -132,7 +143,19 @@ func Solve(cell Cell, cache *AnalysisCache) CellResult {
 	})
 }
 
+// solveCell solves one cell with a borrowed arena from the package scratch
+// pool — the path for executors without worker-owned arenas (remote shards,
+// custom executors, single-cell Solve calls).
 func solveCell(i int, cell Cell, resolve func(Cell) (*spg.Analysis, error)) CellResult {
+	sc := core.GetScratch()
+	defer core.PutScratch(sc)
+	return solveCellScratch(i, cell, resolve, sc)
+}
+
+// solveCellScratch solves one cell with the caller-owned arena sc; the caller
+// resets sc afterwards (nothing arena-backed survives in the CellResult —
+// outcomes carry scalars and wire-form copies only).
+func solveCellScratch(i int, cell Cell, resolve func(Cell) (*spg.Analysis, error), sc *core.Scratch) CellResult {
 	r := CellResult{Index: i, Key: cell.Spec.Key}
 	an, err := resolve(cell)
 	if err != nil {
@@ -143,7 +166,7 @@ func solveCell(i int, cell Cell, resolve func(Cell) (*spg.Analysis, error)) Cell
 		an = an.ScaleToCCR(cell.Spec.CCR)
 	}
 	pl := platform.XScale(cell.Spec.P, cell.Spec.Q)
-	r.Result, r.Feasible = SelectPeriodDivisions(an, pl, cell.Spec.Opts, cell.Spec.maxDivisions())
+	r.Result, r.Feasible = selectPeriodDivisionsScratch(an, pl, cell.Spec.Opts, cell.Spec.maxDivisions(), sc)
 	return r
 }
 

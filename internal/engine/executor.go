@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"spgcmp/internal/core"
 )
 
 // Executor schedules the independent cells of a campaign run. Execute must
@@ -36,6 +38,19 @@ type Executor interface {
 type CampaignExecutor interface {
 	Executor
 	ExecuteCampaign(ctx context.Context, cells []Cell, solve func(i int) CellResult, record func(CellResult)) error
+}
+
+// ScratchExecutor is an Executor whose workers are long-lived enough to own a
+// per-worker solver arena: ExecuteScratch is Execute with a core.Scratch
+// threaded into each run call, owned by the calling worker for its lifetime
+// and reset between cells (the executor performs the reset, so run must not
+// let arena-backed memory outlive its return). engine.Run prefers this seam
+// when the executor offers it; plain executors fall back to the package
+// scratch pool. Scratch placement never affects results — the arenas only
+// move allocations, Scratch's documented determinism contract.
+type ScratchExecutor interface {
+	Executor
+	ExecuteScratch(ctx context.Context, n int, run func(i int, sc *core.Scratch)) error
 }
 
 // PoolExecutor runs cells on an in-process worker pool.
@@ -72,6 +87,53 @@ func (p *PoolExecutor) Execute(ctx context.Context, n int, run func(i int)) erro
 			defer wg.Done()
 			for i := range next {
 				run(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ExecuteScratch implements ScratchExecutor: identical scheduling to Execute,
+// with one arena per worker goroutine, reset after every cell.
+func (p *PoolExecutor) ExecuteScratch(ctx context.Context, n int, run func(i int, sc *core.Scratch)) error {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sc := core.NewScratch()
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			run(i, sc)
+			sc.Reset()
+		}
+		return ctx.Err()
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := core.NewScratch()
+			for i := range next {
+				run(i, sc)
+				sc.Reset()
 			}
 		}()
 	}

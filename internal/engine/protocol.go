@@ -57,15 +57,24 @@ const DefaultMaxDivisions = 9
 // of period divisions (<= 0 selects DefaultMaxDivisions) — the knob a
 // CellSpec carries so a cell's whole solve is declarative.
 func SelectPeriodDivisions(an *spg.Analysis, pl *platform.Platform, opts core.Options, maxDivisions int) (InstanceResult, bool) {
+	return selectPeriodDivisionsScratch(an, pl, opts, maxDivisions, nil)
+}
+
+// selectPeriodDivisionsScratch is the protocol with a caller-owned solver
+// arena threaded through every period's instance (nil allocates normally).
+// The arena is reset between periods: a period's outcomes carry only scalars
+// and wire-form copies, so nothing handed to the caller is arena-backed.
+func selectPeriodDivisionsScratch(an *spg.Analysis, pl *platform.Platform, opts core.Options, maxDivisions int, sc *core.Scratch) (InstanceResult, bool) {
 	if maxDivisions <= 0 {
 		maxDivisions = DefaultMaxDivisions
 	}
-	inst := core.Instance{Graph: an.Graph(), Platform: pl, Period: 1.0, Analysis: an}
+	inst := core.Instance{Graph: an.Graph(), Platform: pl, Period: 1.0, Analysis: an, Scratch: sc}
 	outcomes := core.SolveCell(inst, opts)
 	if !core.AnyOK(outcomes) {
 		return InstanceResult{Period: inst.Period, Outcomes: outcomes}, false
 	}
 	for i := 0; i < maxDivisions; i++ {
+		sc.Reset()
 		tighter := inst.WithPeriod(inst.Period / 10)
 		next := core.SolveCell(tighter, opts)
 		if !core.AnyOK(next) {

@@ -1,0 +1,105 @@
+// Package scratcharena is a golden fixture distilled from the per-worker
+// scratch-arena kernels (core.Scratch and the recttab snapshot/publish pair):
+// it pins the analyzers' verdicts on the arena reuse idiom so the blessed
+// shapes stay silent and the anti-idioms stay findings.
+//
+// The idiom under test: a worker-owned arena hands out windows of its blocks;
+// kernels seed private arena-backed tables FROM a shared cache by copying
+// into caller memory (snapshotInto), and publish results BACK by copying out
+// of arena memory (publish) — the cached value itself must never cross a
+// function boundary uncopied.
+package scratcharena
+
+type arena struct {
+	blocks [][]float64
+	cur    int
+	off    int
+}
+
+// alloc carves a window out of the current block: arena memory is private to
+// one goroutine, so handing out sub-slices is the idiom, not a leak.
+func (a *arena) alloc(n int) []float64 {
+	for {
+		if a.cur < len(a.blocks) {
+			if blk := a.blocks[a.cur]; a.off+n <= len(blk) {
+				out := blk[a.off : a.off+n : a.off+n]
+				a.off += n
+				return out
+			}
+			a.cur++
+			a.off = 0
+			continue
+		}
+		a.blocks = append(a.blocks, make([]float64, 1024+n))
+	}
+}
+
+// periodCache mirrors the shared per-period energy-table store the engines
+// snapshot from and publish to.
+type periodCache struct {
+	ecal map[int][]float64
+}
+
+// snapshotInto fills the caller's (arena-backed) table from the cache by
+// copying: tab is caller memory, not the cached slice, so returning it is
+// the blessed shape and must stay silent.
+func (pc *periodCache) snapshotInto(key int, tab []float64) []float64 {
+	if src, ok := pc.ecal[key]; ok {
+		copy(tab, src)
+	}
+	return tab
+}
+
+// leak returns the shared table itself: a caller writing into it (or an
+// arena reset recycling it, had it been published uncopied) would poison
+// every later snapshot.
+func (pc *periodCache) leak(key int) []float64 {
+	return pc.ecal[key] // want `straight out of a memo/cache map`
+}
+
+// leakLocal is the same aliasing through an untouched local.
+func (pc *periodCache) leakLocal(key int) ([]float64, bool) {
+	tab, ok := pc.ecal[key]
+	if !ok {
+		return nil, false
+	}
+	return tab, true // want `read from a memo/cache map and never copied`
+}
+
+// publish merges arena-backed entries into the cache copy-first, so nothing
+// in the shared store aliases a worker's arena: blessed, silent.
+func (pc *periodCache) publish(key int, tab []float64) {
+	dst, ok := pc.ecal[key]
+	if !ok {
+		dst = make([]float64, len(tab))
+		copy(dst, tab)
+		pc.ecal[key] = dst
+		return
+	}
+	for i, v := range tab {
+		dst[i] = v
+	}
+}
+
+// totalEnergy folds the cached entries with float addition, which does not
+// commute in round-off: map iteration order escapes into the sum.
+func (pc *periodCache) totalEnergy() float64 {
+	var sum float64
+	for _, tab := range pc.ecal { // want `map iteration order`
+		for _, v := range tab {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// footprint sums retained bytes commutatively; the deliberate suppression
+// carries its reason, exactly like the production footprint walks.
+func (pc *periodCache) footprint() int {
+	n := 0
+	//spglint:ignore detrange commutative byte sum; iteration order never reaches the result
+	for _, tab := range pc.ecal {
+		n += len(tab) * 8
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package spg
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -57,6 +58,13 @@ type DownsetSpace struct {
 // downsetCore is the scale-independent half of a DownsetSpace: interning,
 // expansion enumeration and run accounting. Views sharing a core serialize
 // their runs through the core's run lock.
+//
+// States live in flat arenas addressed by id so the enumeration inner loop
+// touches no per-state allocations and no hashed containers: the per-level
+// count vectors sit back to back in one []uint8 (stride bytes each), the
+// stage-membership bitsets in one []uint64 (words words each), and interning
+// goes through an open-addressed table that probes the counts arena directly
+// instead of materializing string keys.
 type downsetCore struct {
 	g          *Graph  // structure/weight authority (any family member)
 	levels     [][]int // stages per elevation level, in chain (x) order
@@ -72,24 +80,37 @@ type downsetCore struct {
 	runMu sync.Mutex
 
 	mu     sync.Mutex
-	ids    map[string]int
-	counts [][]uint8 // id -> per-level inclusion counts
-	size   []int     // id -> number of included stages
+	stride int     // bytes per state in counts: one per elevation level
+	words  int     // uint64 words per state in bits: (n+63)/64
+	counts []uint8 // flat id-indexed per-level inclusion counts (stride each)
+	bits   []uint64
+	size   []int // id -> number of included stages
+
+	// table is the open-addressed intern index (FNV-1a over the count bytes,
+	// linear probing, power-of-two capacity, -1 = empty slot): it replaces
+	// the old map[string]int and its per-lookup key materialization.
+	table []int32
 
 	lastSeen   []int // id -> epoch that last touched it
 	epoch      int
 	runIDs     []int // run index -> id, in touch order for the current epoch
 	runIndexOf []int // id -> run index (valid only when lastSeen[id] == epoch)
 
-	// expCache memoizes enumerations per source downset, tagged with the
-	// work budget they were computed at. A query at a smaller budget is
-	// served by filtering: pruning only removes chunks heavier than the
-	// budget (every path to a light chunk has light prefixes), so the
-	// smaller-budget DFS tree is a prefix-closed subtree of the larger one
-	// and the filtered list preserves both membership and order. SelectPeriod
-	// descends from the largest period, so one enumeration per downset
-	// serves every later period.
-	expCache map[int]expEntry
+	// exp memoizes enumerations per source downset (id-indexed; valid marks
+	// computed entries), tagged with the work budget they were computed at. A
+	// query at a smaller budget is served by filtering: pruning only removes
+	// chunks heavier than the budget (every path to a light chunk has light
+	// prefixes), so the smaller-budget DFS tree is a prefix-closed subtree of
+	// the larger one and the filtered list preserves both membership and
+	// order. SelectPeriod descends from the largest period, so one
+	// enumeration per downset serves every later period.
+	exp []expEntry
+
+	// dfsSeen deduplicates states within one expansion DFS (stamped with
+	// dfsEpoch, so clearing between enumerations is a counter bump, not a
+	// sweep). It replaces the per-DFS map[string]bool.
+	dfsSeen  []int
+	dfsEpoch int
 
 	maxStates int
 	emptyID   int
@@ -99,6 +120,7 @@ type downsetCore struct {
 type expEntry struct {
 	maxWork float64
 	exps    []Expansion
+	valid   bool
 }
 
 // normalizeStateBudget maps the "use the default cap" sentinel to its value;
@@ -150,10 +172,11 @@ func newDownsetCore(g *Graph, levels [][]int, maxStates int) (*downsetCore, erro
 		levelOf:    make([]int, n),
 		posInLevel: make([]int, n),
 		preds:      make([][]int, n),
-		ids:        make(map[string]int),
+		stride:     len(levels),
+		words:      (n + 63) / 64,
+		table:      newInternTable(1 << 8),
 		maxStates:  maxStates,
 		epoch:      1,
-		expCache:   make(map[int]expEntry),
 	}
 	for y, lv := range levels {
 		for p, s := range lv {
@@ -248,7 +271,7 @@ func (ds *DownsetSpace) FullID() int { return ds.core.fullID }
 func (ds *DownsetSpace) NumStates() int {
 	ds.core.mu.Lock()
 	defer ds.core.mu.Unlock()
-	return len(ds.core.counts)
+	return len(ds.core.size)
 }
 
 // Size returns the number of stages in downset id.
@@ -256,6 +279,104 @@ func (ds *DownsetSpace) Size(id int) int {
 	ds.core.mu.Lock()
 	defer ds.core.mu.Unlock()
 	return ds.core.size[id]
+}
+
+// countsOf returns downset id's per-level count vector as a window into the
+// flat arena. Callers hold c.mu and must not retain or modify the slice.
+func (c *downsetCore) countsOf(id int) []uint8 {
+	return c.counts[id*c.stride : (id+1)*c.stride]
+}
+
+// newInternTable returns an empty open-addressed index of the given
+// power-of-two capacity (every slot -1).
+func newInternTable(capacity int) []int32 {
+	t := make([]int32, capacity)
+	for i := range t {
+		t[i] = -1
+	}
+	return t
+}
+
+// hashCounts is FNV-1a over a count vector, the intern table's hash.
+func hashCounts(counts []uint8) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range counts {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// lookup finds the id interned for counts, if any, without touching the run
+// budget. Callers hold c.mu.
+func (c *downsetCore) lookup(counts []uint8) (int, bool) {
+	mask := uint64(len(c.table) - 1)
+	for i := hashCounts(counts) & mask; ; i = (i + 1) & mask {
+		t := c.table[i]
+		if t < 0 {
+			return -1, false
+		}
+		if bytes.Equal(c.countsOf(int(t)), counts) {
+			return int(t), true
+		}
+	}
+}
+
+// growTable doubles the intern index and re-inserts every id (hashes are
+// recomputed from the counts arena; ids never move). Callers hold c.mu.
+func (c *downsetCore) growTable() {
+	nt := newInternTable(2 * len(c.table))
+	mask := uint64(len(nt) - 1)
+	for id := 0; id < len(c.size); id++ {
+		i := hashCounts(c.countsOf(id)) & mask
+		for nt[i] >= 0 {
+			i = (i + 1) & mask
+		}
+		nt[i] = int32(id)
+	}
+	c.table = nt
+}
+
+// intern appends a new downset to the arenas and charges the run budget.
+// The budget is checked before any state is written so a rejected downset is
+// not retained; with c.mu held, the touch below then succeeds on the same
+// condition. Callers hold c.mu and have established that counts is not yet
+// interned.
+func (c *downsetCore) intern(counts []uint8) (int, error) {
+	if len(c.runIDs) >= c.maxStates {
+		return -1, ErrStateLimit
+	}
+	id := len(c.size)
+	// Keep the open-addressed table below 75% load.
+	if (id+1)*4 > len(c.table)*3 {
+		c.growTable()
+	}
+	mask := uint64(len(c.table) - 1)
+	i := hashCounts(counts) & mask
+	for c.table[i] >= 0 {
+		i = (i + 1) & mask
+	}
+	c.table[i] = int32(id)
+
+	c.counts = append(c.counts, counts...)
+	base := len(c.bits)
+	for w := 0; w < c.words; w++ {
+		c.bits = append(c.bits, 0)
+	}
+	sz := 0
+	for y, cnt := range counts {
+		sz += int(cnt)
+		for p := 0; p < int(cnt); p++ {
+			s := c.levels[y][p]
+			c.bits[base+(s>>6)] |= 1 << (uint(s) & 63)
+		}
+	}
+	c.size = append(c.size, sz)
+	c.lastSeen = append(c.lastSeen, 0) // 0 predates every epoch: untouched
+	c.runIndexOf = append(c.runIndexOf, 0)
+	c.exp = append(c.exp, expEntry{})
+	c.dfsSeen = append(c.dfsSeen, 0)
+	return id, c.touch(id)
 }
 
 // touch records that the current run uses downset id, charging the run
@@ -277,28 +398,10 @@ func (c *downsetCore) touch(id int) error {
 // new, and charges the run budget (through touch, the single charging path).
 // Callers hold c.mu.
 func (c *downsetCore) visit(counts []uint8) (int, error) {
-	key := string(counts)
-	if id, ok := c.ids[key]; ok {
+	if id, ok := c.lookup(counts); ok {
 		return id, c.touch(id)
 	}
-	// Check the budget before interning so a rejected state is not retained;
-	// with c.mu held, touch below then succeeds on the same condition.
-	if len(c.runIDs) >= c.maxStates {
-		return -1, ErrStateLimit
-	}
-	id := len(c.counts)
-	cp := make([]uint8, len(counts))
-	copy(cp, counts)
-	c.ids[key] = id
-	c.counts = append(c.counts, cp)
-	sz := 0
-	for _, cnt := range cp {
-		sz += int(cnt)
-	}
-	c.size = append(c.size, sz)
-	c.lastSeen = append(c.lastSeen, 0) // 0 predates every epoch: untouched
-	c.runIndexOf = append(c.runIndexOf, 0)
-	return id, c.touch(id)
+	return c.intern(counts)
 }
 
 // Contains reports whether stage s belongs to downset id.
@@ -308,8 +411,11 @@ func (ds *DownsetSpace) Contains(id, s int) bool {
 	return ds.core.contains(id, s)
 }
 
+// contains answers membership from the per-state bitset: one word load
+// instead of the level/position translation, which is what the Cout edge
+// loop spends its time on.
 func (c *downsetCore) contains(id, s int) bool {
-	return c.posInLevel[s] < int(c.counts[id][c.levelOf[s]])
+	return c.bits[id*c.words+(s>>6)]>>(uint(s)&63)&1 != 0
 }
 
 // Members returns the stages of downset id in no particular order.
@@ -318,7 +424,7 @@ func (ds *DownsetSpace) Members(id int) []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]int, 0, c.size[id])
-	for y, cnt := range c.counts[id] {
+	for y, cnt := range c.countsOf(id) {
 		for p := 0; p < int(cnt); p++ {
 			out = append(out, c.levels[y][p])
 		}
@@ -333,7 +439,7 @@ func (ds *DownsetSpace) Diff(from, to int) []int {
 	c := ds.core
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	cf, ct := c.counts[from], c.counts[to]
+	cf, ct := c.countsOf(from), c.countsOf(to)
 	var out []int
 	for y := range cf {
 		for p := int(cf[y]); p < int(ct[y]); p++ {
@@ -451,22 +557,26 @@ func (c *downsetCore) replayLocked(entry expEntry, maxWork float64, emit func(Ex
 // ensureExpansionsLocked returns the cached enumeration for id, running the
 // depth-first enumeration at maxWork when no entry at that budget (or a
 // larger one) exists. The DFS charges the run budget for every state it
-// visits; replayed entries charge only id here, leaving the per-expansion
-// touches to the caller's filter loop so the accounting order matches a
-// fresh enumeration. Chunk works are stage-weight sums, so one enumeration
-// serves every volume scale sharing the core. Callers hold c.mu and must not
-// modify entry.exps.
+// visits — a state already interned by an earlier run is touched without
+// re-interning, a genuinely new one is interned, and a state already seen by
+// this DFS is skipped without a charge, exactly the accounting the old
+// string-keyed walk performed. Replayed entries charge only id here, leaving
+// the per-expansion touches to the caller's filter loop so the accounting
+// order matches a fresh enumeration. Chunk works are stage-weight sums, so
+// one enumeration serves every volume scale sharing the core. Callers hold
+// c.mu and must not modify entry.exps (the cached slice is returned without
+// copying; every caller in this file only reads or re-filters it).
 func (c *downsetCore) ensureExpansionsLocked(id int, maxWork float64) (expEntry, error) {
-	if e, ok := c.expCache[id]; ok && e.maxWork >= maxWork {
-		//spglint:ignore memoalias documented contract above: callers hold c.mu and must not modify entry.exps; copying every replay would defeat the cache
+	if e := c.exp[id]; e.valid && e.maxWork >= maxWork {
 		return e, c.touch(id)
 	}
 	if err := c.touch(id); err != nil {
 		return expEntry{}, err
 	}
-	counts := make([]uint8, len(c.counts[id]))
-	copy(counts, c.counts[id])
-	seen := map[string]bool{string(counts): true}
+	counts := make([]uint8, c.stride)
+	copy(counts, c.countsOf(id))
+	c.dfsEpoch++
+	c.dfsSeen[id] = c.dfsEpoch
 	var res []Expansion
 	var err error
 	var dfs func(work float64)
@@ -488,15 +598,18 @@ func (c *downsetCore) ensureExpansionsLocked(id int, maxWork float64) (expEntry,
 				continue
 			}
 			counts[y]++
-			key := string(counts)
-			if !seen[key] {
-				seen[key] = true
-				var to int
-				to, err = c.visit(counts)
+			to, ok := c.lookup(counts)
+			if !ok || c.dfsSeen[to] != c.dfsEpoch {
+				if ok {
+					err = c.touch(to)
+				} else {
+					to, err = c.intern(counts)
+				}
 				if err != nil {
 					counts[y]--
 					return
 				}
+				c.dfsSeen[to] = c.dfsEpoch
 				res = append(res, Expansion{To: to, ChunkWork: w})
 				dfs(w)
 			}
@@ -507,8 +620,8 @@ func (c *downsetCore) ensureExpansionsLocked(id int, maxWork float64) (expEntry,
 	if err != nil {
 		return expEntry{}, err
 	}
-	e := expEntry{maxWork: maxWork, exps: res}
-	c.expCache[id] = e
+	e := expEntry{maxWork: maxWork, exps: res, valid: true}
+	c.exp[id] = e
 	return e, nil
 }
 
@@ -532,10 +645,10 @@ func (ds *DownsetSpace) AllDownsets() ([]int, error) {
 	var queue []int
 	queue = append(queue, c.emptyID)
 	visited := map[int]bool{c.emptyID: true}
-	counts := make([]uint8, len(c.levels))
+	counts := make([]uint8, c.stride)
 	for qi := 0; qi < len(queue); qi++ {
 		id := queue[qi]
-		copy(counts, c.counts[id])
+		copy(counts, c.countsOf(id))
 		for y := range counts {
 			p := int(counts[y])
 			if p >= len(c.levels[y]) {

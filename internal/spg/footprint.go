@@ -216,24 +216,24 @@ func (s *bandShape) footprint() int64 {
 	return b
 }
 
-// footprint estimates the interned lattice: per-state count vectors, the
-// intern map, run accounting and the memoized expansion enumerations. This
-// is the dominant term on large-elevation workloads (a 150k-state space with
-// its enumerations runs to hundreds of MB), which is exactly why the
-// campaign cache re-estimates footprints as spaces grow.
+// footprint estimates the interned lattice: the flat count/bitset arenas,
+// the open-addressed intern table, run accounting and the memoized expansion
+// enumerations. This is the dominant term on large-elevation workloads (a
+// 150k-state space with its enumerations runs to hundreds of MB), which is
+// exactly why the campaign cache re-estimates footprints as spaces grow.
 func (c *downsetCore) footprint() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	states := int64(len(c.counts))
-	perLevel := int64(len(c.levels))
+	states := int64(len(c.size))
 	var b int64
-	// counts: header + per-level bytes each; ids: interned key + map entry.
-	b += states * (sliceHeaderBytes + perLevel)
-	b += states * (perLevel + mapEntryBytes)
-	// size, lastSeen, runIndexOf, runIDs.
-	b += states*3*8 + int64(cap(c.runIDs))*8
-	for _, e := range c.expCache {
-		b += mapEntryBytes + sliceHeaderBytes + int64(len(e.exps))*16
+	// Flat arenas: counts bytes, membership bitset words, intern table slots.
+	b += int64(cap(c.counts)) + int64(cap(c.bits))*8 + int64(cap(c.table))*4
+	// size, lastSeen, runIndexOf, dfsSeen, runIDs.
+	b += states*4*8 + int64(cap(c.runIDs))*8
+	// Expansion memo: one fixed entry per state plus the cached enumerations.
+	b += states * (sliceHeaderBytes + 16)
+	for i := range c.exp {
+		b += int64(len(c.exp[i].exps)) * 16
 	}
 	// Static per-stage tables: levelOf, posInLevel, preds.
 	nStages := int64(len(c.levelOf))
