@@ -790,7 +790,7 @@ func BenchmarkShardExecutor(b *testing.B) {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
-			results, err := engine.ExecuteSpecs(r.Context(), nil, req.Cells, cache)
+			results, err := engine.ExecuteSpecs(r.Context(), nil, req.Cells, cache, nil)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
@@ -846,7 +846,7 @@ func BenchmarkDispatcherSteal(b *testing.B) {
 					return
 				}
 			}
-			results, err := engine.ExecuteSpecs(r.Context(), nil, req.Cells, cache)
+			results, err := engine.ExecuteSpecs(r.Context(), nil, req.Cells, cache, nil)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return

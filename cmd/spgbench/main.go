@@ -1,0 +1,48 @@
+// Command spgbench lowers `go test -bench` text output onto the shared
+// BENCH_* artifact schema (internal/benchfmt): benchmark result lines become
+// schema entries, everything else is ignored, and the result is one
+// spgcmp-bench/v1 JSON document on stdout. CI pipes every Go benchmark run
+// through it so all performance artifacts — engine, campaign, serving — are
+// machine-comparable with the same tooling.
+//
+// Example:
+//
+//	go test -run '^$' -bench BenchmarkEngine -benchtime 1x . | spgbench -commit "$GITHUB_SHA" > BENCH_engine.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"spgcmp/internal/benchfmt"
+)
+
+func main() {
+	var (
+		commit   = flag.String("commit", "", "git revision recorded in the artifact")
+		requireN = flag.Int("require", 0, "fail unless at least this many benchmarks parsed (guards against silently-empty artifacts)")
+	)
+	flag.Parse()
+
+	benches, err := benchfmt.ParseGoBench(os.Stdin)
+	fatalIf(err)
+	if len(benches) < *requireN {
+		fatalIf(fmt.Errorf("parsed %d benchmarks, -require %d", len(benches), *requireN))
+	}
+
+	f := benchfmt.New(*commit, runtime.GOOS, runtime.GOARCH)
+	f.Benchmarks = benches
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	fatalIf(enc.Encode(f))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spgbench:", err)
+		os.Exit(1)
+	}
+}

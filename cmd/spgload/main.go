@@ -1,0 +1,279 @@
+// Command spgload is a seeded closed-loop load generator for the spgserve
+// /v1/map endpoint: N workers each issue one request, wait for the answer,
+// and immediately issue the next, for a fixed duration. Each request maps a
+// seeded random workload; with probability -repeat-ratio the workload seed is
+// drawn from a small hot set (exercising the content-addressed result store
+// and singleflight coalescing), otherwise from a process-wide unique counter
+// (always a cold solve). The same -seed therefore replays the same request
+// mix.
+//
+// Output is one spgcmp-bench/v1 JSON document (internal/benchfmt) on stdout
+// with a single benchmark entry per run: mean latency as ns_per_op, and
+// qps, p50_ms/p95_ms/p99_ms, errors and store_hit_rate (from /v1/healthz
+// result-store deltas, when the server has the store enabled) as metrics.
+// CI runs one leg per traffic mix and merges the documents into
+// BENCH_serving.json.
+//
+// Example:
+//
+//	spgload -url http://127.0.0.1:8080 -concurrency 8 -duration 10s -repeat-ratio 0.95
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spgcmp/internal/benchfmt"
+)
+
+// loadConfig drives one measurement leg.
+type loadConfig struct {
+	URL         string        // server base URL, e.g. http://127.0.0.1:8080
+	Concurrency int           // closed-loop workers
+	Duration    time.Duration // measurement window
+	Warmup      time.Duration // unrecorded traffic before measurement (same seeds, so it warms the hot set)
+	RepeatRatio float64       // probability a request re-maps a hot-set workload
+	HotSet      int           // distinct hot workload seeds
+	Seed        int64         // replaying the same seed replays the same mix
+	N           int           // random-workload task count
+	Elevation   int           // random-workload elevation
+	CCR         float64       // random-workload CCR
+	P, Q        int           // CMP grid
+	Name        string        // benchmark entry name (default "map/repeat=<ratio>")
+	Client      *http.Client  // override for tests; defaults to a pooled client
+}
+
+// Wire shapes of the service's /v1/map request and the healthz fields this
+// tool reads; kept local so the generator builds against a server, not the
+// service package internals.
+
+type loadMapRequest struct {
+	Workload loadWorkload `json:"workload"`
+	P        int          `json:"p"`
+	Q        int          `json:"q"`
+	Seed     int64        `json:"seed"`
+}
+
+type loadWorkload struct {
+	Random loadRandom `json:"random"`
+}
+
+type loadRandom struct {
+	N         int     `json:"n"`
+	Elevation int     `json:"elevation"`
+	Seed      int64   `json:"seed"`
+	CCR       float64 `json:"ccr"`
+}
+
+type storeCounters struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+type healthSnapshot struct {
+	ResultStore *storeCounters `json:"result_store"`
+}
+
+// nextBody picks the next request: a hot-set workload seed with probability
+// RepeatRatio, else a never-repeated seed above the hot range.
+func nextBody(rng *rand.Rand, uniq *atomic.Int64, cfg *loadConfig) []byte {
+	var wlSeed int64
+	if rng.Float64() < cfg.RepeatRatio {
+		wlSeed = int64(rng.Intn(cfg.HotSet))
+	} else {
+		wlSeed = int64(cfg.HotSet) + uniq.Add(1)
+	}
+	buf, err := json.Marshal(loadMapRequest{
+		Workload: loadWorkload{Random: loadRandom{N: cfg.N, Elevation: cfg.Elevation, Seed: wlSeed, CCR: cfg.CCR}},
+		P:        cfg.P, Q: cfg.Q, Seed: cfg.Seed,
+	})
+	if err != nil {
+		panic(err) // static shape; cannot fail
+	}
+	return buf
+}
+
+// runPhase runs the closed loop for d and returns the latency of every 200
+// answer plus the count of everything else (non-200, transport errors).
+func runPhase(cfg *loadConfig, d time.Duration, uniq *atomic.Int64) (latencies []time.Duration, errCount int64) {
+	perWorker := make([][]time.Duration, cfg.Concurrency)
+	var errs atomic.Int64
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Distinct per-worker streams derived from the one seed.
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*1_000_003))
+			for time.Now().Before(deadline) {
+				body := nextBody(rng, uniq, cfg)
+				start := time.Now()
+				resp, err := cfg.Client.Post(cfg.URL+"/v1/map", "application/json", bytes.NewReader(body))
+				elapsed := time.Since(start)
+				ok := err == nil && resp.StatusCode == http.StatusOK
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				if ok {
+					perWorker[w] = append(perWorker[w], elapsed)
+				} else {
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, l := range perWorker {
+		latencies = append(latencies, l...)
+	}
+	return latencies, errs.Load()
+}
+
+func fetchStoreStats(cfg *loadConfig) (*storeCounters, error) {
+	resp, err := cfg.Client.Get(cfg.URL + "/v1/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("healthz answered %s", resp.Status)
+	}
+	var h healthSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("healthz: %v", err)
+	}
+	return h.ResultStore, nil // nil when the server runs without a store
+}
+
+// percentile reads the q-quantile from an ascending-sorted sample using the
+// nearest-rank definition.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// runLeg executes one full measurement: warmup traffic (unrecorded), a
+// healthz snapshot, the measured window, and a second snapshot for the
+// store hit rate over exactly the measured requests.
+func runLeg(cfg loadConfig) (benchfmt.Benchmark, error) {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.HotSet <= 0 {
+		cfg.HotSet = 16
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("map/repeat=%.2f", cfg.RepeatRatio)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        2 * cfg.Concurrency,
+			MaxIdleConnsPerHost: cfg.Concurrency,
+		}}
+	}
+	var uniq atomic.Int64
+	if cfg.Warmup > 0 {
+		runPhase(&cfg, cfg.Warmup, &uniq)
+	}
+	before, err := fetchStoreStats(&cfg)
+	if err != nil {
+		return benchfmt.Benchmark{}, fmt.Errorf("%s unreachable: %v", cfg.URL, err)
+	}
+
+	start := time.Now()
+	latencies, errCount := runPhase(&cfg, cfg.Duration, &uniq)
+	elapsed := time.Since(start)
+
+	after, err := fetchStoreStats(&cfg)
+	if err != nil {
+		return benchfmt.Benchmark{}, err
+	}
+	if len(latencies) == 0 {
+		return benchfmt.Benchmark{}, fmt.Errorf("no request completed (%d errors)", errCount)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var total time.Duration
+	for _, l := range latencies {
+		total += l
+	}
+	b := benchfmt.Benchmark{
+		Name:       cfg.Name,
+		Iterations: int64(len(latencies)),
+		NsPerOp:    float64(total.Nanoseconds()) / float64(len(latencies)),
+		Metrics: map[string]float64{
+			"qps":    float64(len(latencies)) / elapsed.Seconds(),
+			"p50_ms": float64(percentile(latencies, 0.50)) / float64(time.Millisecond),
+			"p95_ms": float64(percentile(latencies, 0.95)) / float64(time.Millisecond),
+			"p99_ms": float64(percentile(latencies, 0.99)) / float64(time.Millisecond),
+			"errors": float64(errCount),
+		},
+	}
+	if before != nil && after != nil {
+		hits := after.Hits - before.Hits
+		misses := after.Misses - before.Misses
+		if hits+misses > 0 {
+			b.Metrics["store_hit_rate"] = float64(hits) / float64(hits+misses)
+		}
+	}
+	return b, nil
+}
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.URL, "url", "http://127.0.0.1:8080", "spgserve base URL")
+	flag.IntVar(&cfg.Concurrency, "concurrency", 8, "closed-loop workers")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "measurement window")
+	flag.DurationVar(&cfg.Warmup, "warmup", 2*time.Second, "unrecorded warmup traffic before measuring")
+	flag.Float64Var(&cfg.RepeatRatio, "repeat-ratio", 0, "probability a request re-maps a hot-set workload [0,1]")
+	flag.IntVar(&cfg.HotSet, "hot-set", 16, "distinct hot workload seeds")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "request-mix seed; same seed, same mix")
+	flag.IntVar(&cfg.N, "n", 8, "random-workload task count")
+	flag.IntVar(&cfg.Elevation, "elevation", 2, "random-workload elevation")
+	flag.Float64Var(&cfg.CCR, "ccr", 1, "random-workload CCR")
+	flag.IntVar(&cfg.P, "p", 2, "CMP rows")
+	flag.IntVar(&cfg.Q, "q", 2, "CMP columns")
+	flag.StringVar(&cfg.Name, "name", "", `benchmark entry name (default "map/repeat=<ratio>")`)
+	commit := flag.String("commit", "", "git revision recorded in the artifact")
+	flag.Parse()
+	if cfg.RepeatRatio < 0 || cfg.RepeatRatio > 1 {
+		fatalIf(fmt.Errorf("-repeat-ratio %v outside [0,1]", cfg.RepeatRatio))
+	}
+
+	b, err := runLeg(cfg)
+	fatalIf(err)
+	f := benchfmt.New(*commit, runtime.GOOS, runtime.GOARCH)
+	f.Benchmarks = []benchfmt.Benchmark{b}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	fatalIf(enc.Encode(f))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spgload:", err)
+		os.Exit(1)
+	}
+}

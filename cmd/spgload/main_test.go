@@ -1,0 +1,131 @@
+package main
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spgcmp/internal/engine"
+	"spgcmp/internal/service"
+)
+
+// TestRunLegAgainstService drives the full generator loop against an
+// in-process spgserve handler with the result store enabled: a repeat-heavy
+// leg must complete requests, report ordered percentiles, and observe a
+// store hit rate above zero once the warmup has populated the hot set.
+func TestRunLegAgainstService(t *testing.T) {
+	srv := service.New(service.Config{
+		Cache: engine.NewAnalysisCache(64),
+		Store: engine.NewResultStore(256, 0),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	b, err := runLeg(loadConfig{
+		URL:         ts.URL,
+		Concurrency: 2,
+		Duration:    300 * time.Millisecond,
+		Warmup:      150 * time.Millisecond,
+		RepeatRatio: 1.0, // every request from the hot set
+		HotSet:      2,
+		Seed:        7,
+		N:           8,
+		Elevation:   2,
+		CCR:         1,
+		P:           2, Q: 2,
+		Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "map/repeat=1.00" {
+		t.Fatalf("leg name %q", b.Name)
+	}
+	if b.Iterations == 0 || b.NsPerOp <= 0 {
+		t.Fatalf("empty measurement: %+v", b)
+	}
+	if b.Metrics["errors"] != 0 {
+		t.Fatalf("%v requests failed: %+v", b.Metrics["errors"], b)
+	}
+	p50, p95, p99 := b.Metrics["p50_ms"], b.Metrics["p95_ms"], b.Metrics["p99_ms"]
+	if p50 <= 0 || p50 > p95 || p95 > p99 {
+		t.Fatalf("percentiles out of order: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if b.Metrics["qps"] <= 0 {
+		t.Fatalf("qps missing: %+v", b)
+	}
+	// All-repeat traffic over a 2-seed hot set, after warmup: nearly every
+	// measured request is a store hit.
+	if hr, ok := b.Metrics["store_hit_rate"]; !ok || hr <= 0.5 {
+		t.Fatalf("store_hit_rate %v (present %v), want > 0.5", hr, ok)
+	}
+}
+
+// TestRunLegWithoutStore checks the generator degrades cleanly against a
+// store-less server: no store_hit_rate metric, everything else intact.
+func TestRunLegWithoutStore(t *testing.T) {
+	srv := service.New(service.Config{Cache: engine.NewAnalysisCache(64)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	b, err := runLeg(loadConfig{
+		URL: ts.URL, Concurrency: 1, Duration: 150 * time.Millisecond,
+		RepeatRatio: 1.0, HotSet: 1, Seed: 3, N: 8, Elevation: 2, CCR: 1, P: 2, Q: 2,
+		Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Metrics["store_hit_rate"]; ok {
+		t.Fatalf("store_hit_rate reported by store-less server: %+v", b)
+	}
+	if b.Iterations == 0 {
+		t.Fatalf("no requests completed: %+v", b)
+	}
+}
+
+// TestNextBodyDeterministic pins the seeded mix: the same seed yields the
+// same request sequence, hot draws stay inside the hot range, cold draws
+// never repeat.
+func TestNextBodyDeterministic(t *testing.T) {
+	cfg := &loadConfig{RepeatRatio: 0.5, HotSet: 4, N: 8, Elevation: 2, CCR: 1, P: 2, Q: 2, Seed: 9}
+	gen := func() []string {
+		rng := rand.New(rand.NewSource(42))
+		var uniq atomic.Int64
+		out := make([]string, 50)
+		for i := range out {
+			out[i] = string(nextBody(rng, &uniq, cfg))
+		}
+		return out
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs across replays:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+	seen := map[string]bool{}
+	for _, body := range a {
+		seen[body] = true
+	}
+	if len(seen) >= len(a) {
+		t.Fatal("no request repeated despite repeat-ratio 0.5 over a 4-seed hot set")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 5}, {0.95, 10}, {0.99, 10}, {0.10, 1}} {
+		if got := percentile(s, tc.q); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if percentile(nil, 0.5) != 0 {
+		t.Error("empty sample should yield 0")
+	}
+}

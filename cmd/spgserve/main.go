@@ -34,6 +34,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -pprof-addr
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -42,6 +43,34 @@ import (
 	"spgcmp/internal/engine"
 	"spgcmp/internal/service"
 )
+
+// parseByteSize reads a -result-cache-bytes style value: a plain byte count
+// or one with a K/M/G (or KB/MB/GB, KiB/MiB/GiB — all binary) suffix,
+// case-insensitive. "0" disables the bound it configures.
+func parseByteSize(s string) (int64, error) {
+	v := strings.ToLower(strings.TrimSpace(s))
+	v = strings.TrimSuffix(strings.TrimSuffix(v, "b"), "i")
+	shift := 0
+	switch {
+	case strings.HasSuffix(v, "k"):
+		v, shift = v[:len(v)-1], 10
+	case strings.HasSuffix(v, "m"):
+		v, shift = v[:len(v)-1], 20
+	case strings.HasSuffix(v, "g"):
+		v, shift = v[:len(v)-1], 30
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("byte size %q: want a number with optional K/M/G suffix", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("byte size %q: negative", s)
+	}
+	if shift > 0 && n > (1<<62)>>shift {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return n << shift, nil
+}
 
 // addWorkerURLs appends the -worker flag value's URLs to dst: each
 // occurrence may carry one URL or a comma-separated list.
@@ -148,9 +177,15 @@ func main() {
 		cacheSize     = flag.Int("cache-entries", 512, "campaign cache capacity in workloads; <= 0 removes the entry bound, which with -cache-mb 0 disables caching entirely")
 		cacheMB       = flag.Int64("cache-mb", 0, "campaign cache byte bound in MiB, estimated by spg.Analysis.MemoryFootprint (0 disables)")
 		workers       = flag.Int("workers", 0, "campaign executor workers (0 = GOMAXPROCS)")
+		resultEntries = flag.Int("result-cache-entries", 4096, "content-addressed result store capacity in cell outcomes; with -result-cache-bytes 0 both <= 0 disable the store")
+		resultBytes   = flag.String("result-cache-bytes", "0", "content-addressed result store byte bound, e.g. 64M or 1GiB (0 = no byte bound)")
 		maxCells      = flag.Int("max-campaign-cells", 10_000, "largest accepted campaign, in cells")
 		maxGrid       = flag.Int("max-grid", 16, "largest accepted CMP side")
 		maxRanges     = flag.Int("max-active-ranges", 4, "concurrently executing /v1/cells/execute ranges; beyond it workers answer 429")
+		maxMaps       = flag.Int("max-active-maps", 4, "concurrently executing /v1/map solves; beyond active+queued the service answers 429")
+		maxQueuedMaps = flag.Int("max-queued-maps", 0, "/v1/map solves allowed to wait for an active slot (0 = shed immediately)")
+		maxBatches    = flag.Int("max-active-batches", 2, "concurrently executing /v1/map/batch campaigns (plus a wait queue of the same depth); beyond both, 429")
+		maxBatchCells = flag.Int("max-batch-cells", 256, "largest accepted /v1/map/batch request, in items")
 		chunkCells    = flag.Int("chunk-cells", 0, "cells per dispatcher chunk for scheduled campaigns (0 = one workload family)")
 		probeInterval = flag.Duration("probe-interval", 5*time.Second, "worker health-probe spacing (also the self-registration keep-alive interval)")
 		registerWith  = flag.String("register-with", "", "coordinator base URL to self-register with via POST /v1/workers")
@@ -201,12 +236,18 @@ curl localhost:8080/v1/workers
 		}()
 	}
 
+	storeBytes, err := parseByteSize(*resultBytes)
+	if err != nil {
+		log.Fatalf("-result-cache-bytes: %v", err)
+	}
 	cache := engine.NewAnalysisCacheBytes(*cacheSize, *cacheMB<<20)
+	store := engine.NewResultStore(*resultEntries, storeBytes)
 	registry := engine.NewWorkerRegistry(engine.RegistryConfig{ProbeInterval: *probeInterval}, workerURLs...)
 	registry.Start()
 	defer registry.Stop()
 	srv := service.New(service.Config{
 		Cache:    cache,
+		Store:    store,
 		Executor: &engine.PoolExecutor{Workers: *workers},
 		Registry: registry,
 		Client:   dispatchClient,
@@ -217,6 +258,11 @@ curl localhost:8080/v1/workers
 		MaxGrid:          *maxGrid,
 		MaxCampaignCells: *maxCells,
 		MaxActiveRanges:  *maxRanges,
+		MaxActiveMaps:    *maxMaps,
+		MaxQueuedMaps:    *maxQueuedMaps,
+		MaxActiveBatches: *maxBatches,
+		MaxQueuedBatches: *maxBatches,
+		MaxBatchCells:    *maxBatchCells,
 		JobTTL:           *jobTTL,
 		MaxFinishedJobs:  *maxJobs,
 	})
@@ -232,8 +278,12 @@ curl localhost:8080/v1/workers
 	if len(workerURLs) > 0 {
 		role = fmt.Sprintf("coordinator seeded with %d workers", len(workerURLs))
 	}
-	log.Printf("spgserve listening on %s (%s; cache: %d entries, %d MiB; workers: %d)",
-		*addr, role, *cacheSize, *cacheMB, *workers)
+	storeDesc := "off"
+	if store.Enabled() {
+		storeDesc = fmt.Sprintf("%d entries, %d bytes", *resultEntries, storeBytes)
+	}
+	log.Printf("spgserve listening on %s (%s; cache: %d entries, %d MiB; result store: %s; workers: %d)",
+		*addr, role, *cacheSize, *cacheMB, storeDesc, *workers)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	serveErr := make(chan error, 1)

@@ -5,6 +5,40 @@ import (
 	"testing"
 )
 
+// TestParseByteSize: plain byte counts plus K/M/G spellings (all binary,
+// case-insensitive, with or without the B/iB tail); junk and negatives are
+// rejected.
+func TestParseByteSize(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"123", 123},
+		{" 64 ", 64},
+		{"4K", 4096},
+		{"4k", 4096},
+		{"4KB", 4096},
+		{"4KiB", 4096},
+		{"64M", 64 << 20},
+		{"64MiB", 64 << 20},
+		{"2G", 2 << 30},
+		{"1gb", 1 << 30},
+	} {
+		got, err := parseByteSize(tc.in)
+		if err != nil {
+			t.Errorf("parseByteSize(%q): %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("parseByteSize(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "-4K", "4T", "1.5M", "K"} {
+		if got, err := parseByteSize(bad); err == nil {
+			t.Errorf("parseByteSize(%q) accepted as %d", bad, got)
+		}
+	}
+}
+
 // TestAddWorkerURLs: one -worker occurrence may carry a single URL or a
 // comma-separated list, occurrences accumulate, and empty entries are
 // rejected rather than silently dropped.

@@ -21,13 +21,14 @@
 //	internal/experiments the Section 6 evaluation campaigns (engine adapters)
 //	internal/service     the HTTP/JSON mapping service (cmd/spgserve)
 //	internal/chaos       deterministic fault injection for the cluster paths
+//	internal/benchfmt    the spgcmp-bench/v1 schema all BENCH_* CI artifacts carry
 //
-// # The three cache layers
+// # The cache and result-store layers
 //
 // The paper's evaluation is a campaign: every workload is solved across five
 // heuristics, up to ten period divisions (Section 6.1.3), four CCR variants
 // (Section 6.1.1), and — in the random sweeps — hundreds of graphs, many
-// times over. Solver reuse is therefore structured in three nested layers,
+// times over. Solver reuse is therefore structured in four nested layers,
 // each proven bit-identical to a cache-free run by the equivalence suite:
 //
 // Layer 1 — instance scope. spg.Analysis memoizes everything a heuristic
@@ -74,6 +75,24 @@
 // (or one supplied by the caller; nil disables the layer). This layer
 // applies across calls: the 6x6 campaign reuses the 4x4 campaign's
 // analyses, and a re-run reuses everything.
+//
+// Layer 4 — outcome scope. engine.ResultStore memoizes finished cell
+// outcomes themselves, keyed by content: every wire-codable CellSpec has a
+// canonical content key (CellSpec.ContentKey) — a versioned hash over the
+// workload identity, grid, and each solver option that can steer the
+// outcome, excluding campaign-local addressing and the parallelism knob,
+// which provably cannot — and engine.Run consults the store before
+// dispatching a cell, so a spec solved once anywhere (a /v1/map request, a
+// batch item, a campaign cell, a shard worker's range) never solves again
+// while it stays resident. Entries hold the result's JSON wire form and
+// decode to fresh copies on every hit, so served results are byte-identical
+// to fresh solves (the store-equivalence suite proves it over the full
+// StreamIt suite and the seeded random panel, cold and warm, at 1 and 4
+// workers) and callers never alias store memory. Retention is LRU under an
+// entry bound and a byte account. Cells whose workloads are in-process
+// closures have no wire form, no content key, and always solve. Where the
+// analysis cache makes re-solving cheap, this layer makes it free — the
+// high-QPS serving pattern.
 //
 // # The flattened DP kernels
 //
@@ -154,15 +173,22 @@
 //
 // internal/service exposes the engine over HTTP/JSON (cmd/spgserve):
 // POST /v1/map answers one workload with the period-selection protocol plus
-// the winning mapping's placement, POST /v1/campaign runs whole campaigns
+// the winning mapping's placement — consulting the result store first, and
+// coalescing identical in-flight requests into a single solve (singleflight:
+// one leader solves, every concurrent duplicate waits on its flight) behind
+// a bounded admission gate (active slots plus a wait queue; beyond both,
+// 429 with Retry-After) — POST /v1/map/batch enumerates many map requests
+// into one engine campaign (one dispatcher schedule on a coordinator,
+// per-item answers byte-identical to /v1/map), POST /v1/campaign runs whole
+// campaigns
 // asynchronously with cell-level progress polling at GET /v1/campaign/{id}
 // — including per-worker chunk attribution and the redispatch /
 // local-fallback counters — and cancellation at DELETE /v1/campaign/{id}
 // (propagated through the dispatcher into in-flight worker requests;
 // finished jobs are retained under TTL and count bounds), and
-// GET /v1/healthz reports the shared cache's statistics plus, on a
-// coordinator, the worker registry snapshot and lifetime dispatcher
-// counters. Every instance answers the shard-worker endpoint
+// GET /v1/healthz reports the shared cache's and result store's statistics
+// and the coalescing counters plus, on a coordinator, the worker registry
+// snapshot and lifetime dispatcher counters. Every instance answers the shard-worker endpoint
 // POST /v1/cells/execute and the registry endpoints
 // POST/GET/DELETE /v1/workers, so a cluster is N ordinary spgserve
 // processes plus a coordinator that either names them with -worker flags or
@@ -211,8 +237,11 @@
 //
 // Executables: cmd/spgmap (map one workload), cmd/experiments (regenerate
 // every table and figure), cmd/spgserve (the HTTP mapping service; see
-// cmd/spgserve/README.md for curl examples), cmd/spggen (emit workloads),
-// cmd/ilpgen (emit the ILP). Runnable walkthroughs live under examples/ —
+// cmd/spgserve/README.md for curl examples), cmd/spgload (seeded
+// closed-loop load generator for the map path; its legs and the other
+// benchmark artifacts share the internal/benchfmt schema, onto which
+// cmd/spgbench lowers `go test -bench` output), cmd/spggen (emit
+// workloads), cmd/ilpgen (emit the ILP). Runnable walkthroughs live under examples/ —
 // examples/period-sweep documents the cache layers from a user's
 // perspective. The benchmarks in bench_test.go regenerate each table and
 // figure at reduced scale; BenchmarkEngineCampaign vs

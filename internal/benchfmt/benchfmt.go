@@ -1,0 +1,129 @@
+// Package benchfmt defines the one JSON schema every BENCH_* CI artifact
+// uses, so the performance trajectory is machine-comparable across PRs: one
+// File per artifact, one Benchmark per measured series, all rates as plain
+// float64 fields. Producers are cmd/spgbench (which lowers `go test -bench`
+// text onto the schema) and cmd/spgload (which emits serving measurements
+// natively); consumers are the CI trend scripts and anyone diffing two
+// artifacts.
+//
+// The schema, informally:
+//
+//	{
+//	  "schema": "spgcmp-bench/v1",          // always; consumers must check it
+//	  "commit": "<git sha>",                // optional provenance
+//	  "goos": "linux", "goarch": "amd64",   // optional environment
+//	  "benchmarks": [
+//	    {
+//	      "name": "EngineCampaign-8",       // series name (Go bench name or load-leg name)
+//	      "iterations": 5,                  // Go bench iteration count / load requests
+//	      "ns_per_op": 231000000,           // mean latency
+//	      "bytes_per_op": 123456,           // optional (Go -benchmem)
+//	      "allocs_per_op": 789,             // optional (Go -benchmem)
+//	      "metrics": {"qps": 812.5}         // any extra unit -> value pairs
+//	    }
+//	  ]
+//	}
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Schema is the version tag carried by every artifact; consumers reject
+// files whose schema they do not know instead of misreading them.
+const Schema = "spgcmp-bench/v1"
+
+// File is one BENCH_* artifact.
+//
+//spglint:wire
+type File struct {
+	Schema string `json:"schema"`
+	// Commit is the git revision the numbers describe.
+	Commit string `json:"commit,omitempty"`
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	// Benchmarks is one entry per measured series, in source order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one measured series.
+//
+//spglint:wire
+type Benchmark struct {
+	// Name is the series name: a Go benchmark name with its -cpu suffix
+	// ("EngineCampaign-8") or a load-generator leg ("map/repeat=0.95").
+	Name string `json:"name"`
+	// Iterations is b.N for Go benchmarks, completed requests for load legs.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the mean duration per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp carry -benchmem output when present.
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries every additional unit -> value pair: custom
+	// b.ReportMetric series from Go benchmarks, percentiles and rates from
+	// the load generator.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// New returns a File tagged with the schema version.
+func New(commit, goos, goarch string) *File {
+	return &File{Schema: Schema, Commit: commit, GoOS: goos, GoArch: goarch}
+}
+
+// ParseGoBench lowers `go test -bench` text output onto the schema: every
+// "BenchmarkName-N  iters  v unit  v unit ..." line becomes one Benchmark
+// (ns/op, B/op and allocs/op land in their typed fields, anything else in
+// Metrics), and every other line — headers, PASS/ok trailers, log noise — is
+// ignored. An empty result is not an error; callers decide whether zero
+// benchmarks is a failure.
+func ParseGoBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "name iterations" plus (value, unit) pairs:
+		// an even field count of at least 4.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "BenchmarkX ... FAIL" and similar non-result lines
+		}
+		b := Benchmark{Name: strings.TrimPrefix(fields[0], "Benchmark"), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: %q: bad value %q: %v", line, fields[i], err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %v", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: spgcmp
+cpu: Some CPU @ 2.80GHz
+BenchmarkEngineCampaign-8   	       5	 231000000 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkMapCell/DCT-8      	     120	  10250000 ns/op	      812.5 cells/s
+BenchmarkNoMem-8            	 1000000	      1042 ns/op
+PASS
+ok  	spgcmp	12.345s
+`
+
+func TestParseGoBench(t *testing.T) {
+	got, err := ParseGoBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	b := got[0]
+	if b.Name != "EngineCampaign-8" || b.Iterations != 5 || b.NsPerOp != 231000000 ||
+		b.BytesPerOp != 123456 || b.AllocsPerOp != 789 {
+		t.Fatalf("benchmark 0 misparsed: %+v", b)
+	}
+	if m := got[1]; m.Name != "MapCell/DCT-8" || m.Metrics["cells/s"] != 812.5 {
+		t.Fatalf("custom metric misparsed: %+v", m)
+	}
+	if n := got[2]; n.NsPerOp != 1042 || n.BytesPerOp != 0 || n.Metrics != nil {
+		t.Fatalf("plain benchmark misparsed: %+v", n)
+	}
+}
+
+func TestParseGoBenchIgnoresNoise(t *testing.T) {
+	got, err := ParseGoBench(strings.NewReader("BenchmarkBroken-8 FAIL\nrandom line\nBenchmark\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("noise parsed as results: %+v", got)
+	}
+	if _, err := ParseGoBench(strings.NewReader("BenchmarkBad-8 10 xx ns/op\n")); err == nil {
+		t.Fatal("malformed value accepted")
+	}
+}
+
+// TestFileSchema pins the artifact envelope: the schema tag and the exact
+// field spelling CI trend tooling greps for.
+func TestFileSchema(t *testing.T) {
+	f := New("abc123", "linux", "amd64")
+	f.Benchmarks = []Benchmark{{Name: "X-1", Iterations: 2, NsPerOp: 3.5, Metrics: map[string]float64{"qps": 7}}}
+	buf, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"schema":"spgcmp-bench/v1"`,
+		`"commit":"abc123"`,
+		`"name":"X-1"`,
+		`"iterations":2`,
+		`"ns_per_op":3.5`,
+		`"qps":7`,
+	} {
+		if !strings.Contains(string(buf), want) {
+			t.Errorf("artifact missing %s: %s", want, buf)
+		}
+	}
+	var back File
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || len(back.Benchmarks) != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

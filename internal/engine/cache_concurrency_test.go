@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spgcmp/internal/spg"
+	"spgcmp/internal/streamit"
+)
+
+// TestAnalysisCacheStatsKeysConcurrent exercises Stats(), Keys(), Len() and
+// Purge() against a storm of concurrent Gets (some sharing keys, some
+// evicting each other under a tight capacity), on both the count-bounded and
+// byte-bounded configurations — the footprint walk in Stats takes per-entry
+// locks outside the cache mutex, so this is the interleaving the race
+// detector needs to see. Readers assert only invariants that hold at every
+// point in time; the detector is the rest of the test.
+func TestAnalysisCacheStatsKeysConcurrent(t *testing.T) {
+	apps := []string{"DCT", "FFT", "Serpent", "Vocoder"}
+	build := func(name string) func() (*spg.Analysis, error) {
+		return func() (*spg.Analysis, error) {
+			a, err := streamit.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			g, err := a.BaseGraph()
+			if err != nil {
+				return nil, err
+			}
+			return spg.NewAnalysis(g), nil
+		}
+	}
+	configs := map[string]*AnalysisCache{
+		"count-bounded": NewAnalysisCache(2), // smaller than the key set: constant eviction
+		"byte-bounded":  NewAnalysisCacheBytes(0, 1),
+	}
+	for name, cache := range configs {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for w := 0; w < 6; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 40; i++ {
+						app := apps[(w+i)%len(apps)]
+						if _, err := cache.Get("streamit/"+app, build(app)); err != nil {
+							t.Errorf("Get(%s): %v", app, err)
+							return
+						}
+						if i%9 == 0 && w == 0 {
+							cache.Purge()
+						}
+					}
+				}(w)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 120; i++ {
+					s := cache.Stats()
+					if s.Hits+s.Misses == 0 && i > 60 {
+						continue // plausible only very early
+					}
+					if s.Entries < 0 || s.Bytes < 0 {
+						t.Errorf("impossible stats snapshot: %+v", s)
+						return
+					}
+					for _, k := range cache.Keys() {
+						if k == "" {
+							t.Error("empty key in Keys()")
+							return
+						}
+					}
+					_ = cache.Len()
+				}
+			}()
+			wg.Wait()
+			s := cache.Stats()
+			if s.Hits+s.Misses == 0 {
+				t.Fatalf("no traffic recorded: %+v", s)
+			}
+			for _, k := range cache.Keys() {
+				if _, err := fmt.Sscanf(k, "streamit/%s", new(string)); err != nil {
+					t.Fatalf("unexpected key %q", k)
+				}
+			}
+		})
+	}
+}

@@ -72,7 +72,7 @@ func newClusterWorker(t *testing.T, cache *AnalysisCache) *clusterWorker {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		results, err := ExecuteSpecs(r.Context(), &PoolExecutor{}, req.Cells, cw.cache)
+		results, err := ExecuteSpecs(r.Context(), &PoolExecutor{}, req.Cells, cw.cache, nil)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

@@ -88,6 +88,13 @@ type Campaign struct {
 	// goroutines, possibly concurrently; results arrive in completion order,
 	// not index order). Progress reporting for the mapping service.
 	OnCell func(CellResult)
+	// Store is the content-addressed cell-outcome store consulted before any
+	// cell reaches the executor and populated as cells complete: a stored
+	// outcome is served in place of a re-solve (byte-identical, by per-cell
+	// determinism), so only the genuinely novel cells are dispatched. nil or
+	// disabled solves every cell. Cells with a Build override are not
+	// content-addressable and always solve (see Run).
+	Store *ResultStore
 }
 
 // Run executes every cell of the campaign through ex (nil selects an
@@ -98,6 +105,13 @@ type Campaign struct {
 // remote workers; a plain Executor receives the index space. On context
 // cancellation the indexed slice is returned alongside the context error
 // with the unstarted cells zero-valued (Key empty).
+//
+// With an enabled Campaign.Store, every wire-codable cell is first looked up
+// by its canonical content hash: hits are recorded immediately (OnCell fires
+// as usual) and never reach the executor, and the misses that do run
+// populate the store on completion. Cells with a Build override — whose work
+// a spec cannot describe — and cells whose spec fails to hash bypass the
+// store entirely and always solve.
 func Run(ctx context.Context, ex Executor, c Campaign) ([]CellResult, error) {
 	if ctx == nil {
 		//spglint:ignore ctxflow nil-ctx compatibility default for library callers; request paths always pass a real context
@@ -106,9 +120,7 @@ func Run(ctx context.Context, ex Executor, c Campaign) ([]CellResult, error) {
 	if ex == nil {
 		ex = &PoolExecutor{}
 	}
-	resolve := newResolver(c.Cells, c.Cache)
 	results := make([]CellResult, len(c.Cells))
-	solve := func(i int) CellResult { return solveCell(i, c.Cells[i], resolve) }
 	record := func(r CellResult) {
 		if r.Index >= 0 && r.Index < len(results) {
 			results[r.Index] = r
@@ -117,20 +129,68 @@ func Run(ctx context.Context, ex Executor, c Campaign) ([]CellResult, error) {
 			c.OnCell(r)
 		}
 	}
+	// The executor sees only the store misses, at sub-campaign indexes;
+	// missIdx maps them back to absolute cell indexes and missKey remembers
+	// each runnable cell's content hash ("" = not storable) for the Put on
+	// completion. With the store disabled the sub-campaign is the campaign.
+	run := c.Cells
+	var (
+		missIdx []int
+		missKey []string
+	)
+	if c.Store.enabled() {
+		run = nil
+		missIdx = make([]int, 0, len(c.Cells))
+		missKey = make([]string, 0, len(c.Cells))
+		for i, cell := range c.Cells {
+			key := ""
+			if cell.WireCodable() {
+				if k, err := cell.Spec.ContentKey(); err == nil {
+					key = k
+					if r, ok := c.Store.Get(k); ok {
+						r.Index = i
+						r.Key = cell.Spec.Key
+						record(r)
+						continue
+					}
+				}
+			}
+			run = append(run, cell)
+			missIdx = append(missIdx, i)
+			missKey = append(missKey, key)
+		}
+		if len(run) == 0 {
+			return results, ctx.Err()
+		}
+	}
+	resolve := newResolver(run, c.Cache)
+	solve := func(i int) CellResult { return solveCell(i, run[i], resolve) }
+	rec := record
+	if missIdx != nil {
+		rec = func(r CellResult) {
+			if r.Index >= 0 && r.Index < len(missIdx) {
+				if key := missKey[r.Index]; key != "" {
+					c.Store.Put(key, r)
+				}
+				r.Index = missIdx[r.Index]
+			}
+			record(r)
+		}
+	}
 	if ce, ok := ex.(CampaignExecutor); ok {
-		return results, ce.ExecuteCampaign(ctx, c.Cells, solve, record)
+		return results, ce.ExecuteCampaign(ctx, run, solve, rec)
 	}
 	if se, ok := ex.(ScratchExecutor); ok {
 		// Worker-owned arenas: each pool worker keeps one Scratch for its
 		// lifetime and the executor resets it between cells, so a warmed
 		// worker solves cells without kernel allocations. Results are
 		// identical to the plain path (Scratch's determinism contract).
-		err := se.ExecuteScratch(ctx, len(c.Cells), func(i int, sc *core.Scratch) {
-			record(solveCellScratch(i, c.Cells[i], resolve, sc))
+		err := se.ExecuteScratch(ctx, len(run), func(i int, sc *core.Scratch) {
+			rec(solveCellScratch(i, run[i], resolve, sc))
 		})
 		return results, err
 	}
-	err := ex.Execute(ctx, len(c.Cells), func(i int) { record(solve(i)) })
+	err := ex.Execute(ctx, len(run), func(i int) { rec(solve(i)) })
 	return results, err
 }
 

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// WireStoredResult is the stored (and wire) form of one cell outcome in the
+// ResultStore: the result-bearing fields of a CellResult without its
+// campaign-local addressing (Index and Key are stamped by the reader from
+// the requesting cell). Entries are retained as their JSON encoding, so a
+// Get decodes a fresh copy and cached outcomes can never alias a caller's
+// mutation — and because float64s round-trip bit-exactly through
+// encoding/json, a stored outcome re-serializes byte-identically to the
+// solve that produced it.
+type WireStoredResult struct {
+	Feasible bool           `json:"feasible"`
+	Result   InstanceResult `json:"result"`
+}
+
+// ResultStore is a bounded, concurrency-safe, content-addressed store of
+// solved cell outcomes — the dedup layer that turns a repeated request from
+// a full DP solve into an O(1) lookup. Keys are canonical CellSpec content
+// hashes (CellSpec.ContentKey); per-cell determinism is proven by the
+// equivalence suites, so a stored outcome is safe to serve byte-identically
+// in place of a re-solve.
+//
+// Entries are retained with least-recently-used eviction under two
+// independent bounds, an entry count and a byte account (the encoded entry
+// sizes), mirroring the AnalysisCache. The nil store and a store with no
+// positive bound are both disabled: Get always misses and Put is a no-op.
+// Unlike the AnalysisCache the store does not deduplicate concurrent builds
+// of one key — in-flight dedup is the service coalescer's job — so Put is a
+// plain last-writer-wins insert (all writers of one key insert identical
+// bytes, by determinism).
+type ResultStore struct {
+	capacity int
+	maxBytes int64
+
+	hits, misses, puts, evictions atomic.Uint64
+
+	mu         sync.Mutex
+	entries    map[string]*storeEntry // guarded by mu
+	lru        *list.List             // guarded by mu; front = most recently used; values are *storeEntry
+	totalBytes int64                  // guarded by mu; sum of encoded entry sizes
+}
+
+type storeEntry struct {
+	key  string
+	elem *list.Element
+	data []byte // immutable once inserted; read outside mu by Get
+}
+
+// NewResultStore returns a store retaining at most capacity outcomes and at
+// most maxBytes of encoded results. A bound <= 0 is disabled; with both
+// disabled the store itself is disabled (Get misses, Put no-ops).
+func NewResultStore(capacity int, maxBytes int64) *ResultStore {
+	return &ResultStore{
+		capacity: capacity,
+		maxBytes: maxBytes,
+		entries:  make(map[string]*storeEntry),
+		lru:      list.New(),
+	}
+}
+
+// Enabled reports whether the store retains anything — how callers decide
+// whether to surface its stats.
+func (s *ResultStore) Enabled() bool { return s.enabled() }
+
+func (s *ResultStore) enabled() bool {
+	return s != nil && (s.capacity > 0 || s.maxBytes > 0)
+}
+
+// Len returns the number of stored outcomes.
+func (s *ResultStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Purge drops every stored outcome (counters are retained).
+func (s *ResultStore) Purge() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[string]*storeEntry)
+	s.lru.Init()
+	s.totalBytes = 0
+}
+
+// Get returns a fresh copy of the outcome stored under key. The returned
+// result carries Index 0 and an empty Key — the caller stamps both from the
+// cell it is answering. A disabled store always misses without counting.
+func (s *ResultStore) Get(key string) (CellResult, bool) {
+	if !s.enabled() || key == "" {
+		return CellResult{}, false
+	}
+	s.mu.Lock()
+	e := s.entries[key]
+	if e == nil {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return CellResult{}, false
+	}
+	s.lru.MoveToFront(e.elem)
+	data := e.data
+	s.mu.Unlock()
+	var w WireStoredResult
+	if err := json.Unmarshal(data, &w); err != nil {
+		// Unreachable for entries this store encoded; treated as a miss so a
+		// corrupted entry degrades to a re-solve, never a wrong answer.
+		s.misses.Add(1)
+		return CellResult{}, false
+	}
+	s.hits.Add(1)
+	return CellResult{Feasible: w.Feasible, Result: w.Result}, true
+}
+
+// Put stores the outcome under key. Failed cells (Err set) are never
+// retained — a build failure may be environmental and must stay retryable.
+// Disabled stores and the empty key no-op.
+func (s *ResultStore) Put(key string, r CellResult) {
+	if !s.enabled() || key == "" || r.Err != nil {
+		return
+	}
+	data, err := json.Marshal(WireStoredResult{Feasible: r.Feasible, Result: r.Result})
+	if err != nil {
+		return // InstanceResult is wire-codable by construction; defensive only
+	}
+	s.puts.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.entries[key]; e != nil {
+		s.totalBytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
+		s.lru.MoveToFront(e.elem)
+		s.evictLocked()
+		return
+	}
+	e := &storeEntry{key: key, data: data}
+	e.elem = s.lru.PushFront(e)
+	s.entries[key] = e
+	s.totalBytes += int64(len(data))
+	s.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries while either configured
+// bound is exceeded. Callers hold s.mu.
+func (s *ResultStore) evictLocked() {
+	over := func() bool {
+		return (s.capacity > 0 && s.lru.Len() > s.capacity) ||
+			(s.maxBytes > 0 && s.totalBytes > s.maxBytes)
+	}
+	for el := s.lru.Back(); el != nil && over(); {
+		prev := el.Prev()
+		old := el.Value.(*storeEntry)
+		s.lru.Remove(el)
+		delete(s.entries, old.key)
+		s.totalBytes -= int64(len(old.data))
+		s.evictions.Add(1)
+		el = prev
+	}
+}
+
+// ResultStoreStats is a point-in-time snapshot of the store, as served by
+// the mapping service's health endpoint.
+type ResultStoreStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity,omitempty"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes,omitempty"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats returns the store's current size, bounds and traffic counters.
+func (s *ResultStore) Stats() ResultStoreStats {
+	if s == nil {
+		return ResultStoreStats{}
+	}
+	s.mu.Lock()
+	st := ResultStoreStats{
+		Entries:  len(s.entries),
+		Capacity: s.capacity,
+		Bytes:    s.totalBytes,
+		MaxBytes: s.maxBytes,
+	}
+	s.mu.Unlock()
+	st.Hits = s.hits.Load()
+	st.Misses = s.misses.Load()
+	st.Puts = s.puts.Load()
+	st.Evictions = s.evictions.Load()
+	return st
+}

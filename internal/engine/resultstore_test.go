@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"spgcmp/internal/core"
+	"spgcmp/internal/spg"
+)
+
+func storedResult(index int, key string, energy float64) CellResult {
+	return CellResult{
+		Index:    index,
+		Key:      key,
+		Feasible: true,
+		Result: InstanceResult{
+			Period:   1,
+			Outcomes: []Outcome{{Heuristic: "H", OK: true, Energy: energy, ActiveCores: 2}},
+		},
+	}
+}
+
+func TestResultStoreRoundTrip(t *testing.T) {
+	st := NewResultStore(4, 0)
+	if _, ok := st.Get("k"); ok {
+		t.Fatal("empty store hit")
+	}
+	put := storedResult(7, "cell-key", 42.5)
+	st.Put("k", put)
+	got, ok := st.Get("k")
+	if !ok {
+		t.Fatal("stored key missed")
+	}
+	// Addressing is stripped: the caller stamps Index/Key from the
+	// requesting cell.
+	if got.Index != 0 || got.Key != "" {
+		t.Fatalf("stored result carries addressing: index=%d key=%q", got.Index, got.Key)
+	}
+	got.Index, got.Key = put.Index, put.Key
+	g, _ := json.Marshal(got.Wire())
+	w, _ := json.Marshal(put.Wire())
+	if string(g) != string(w) {
+		t.Fatalf("round trip not byte-identical:\n%s\n%s", g, w)
+	}
+	// Copies are fresh: mutating one hit must not leak into the next.
+	got.Result.Outcomes[0].Energy = -1
+	again, _ := st.Get("k")
+	if again.Result.Outcomes[0].Energy != 42.5 {
+		t.Fatal("stored entry aliased a caller's mutation")
+	}
+}
+
+func TestResultStoreDisabledAndErrors(t *testing.T) {
+	for _, st := range []*ResultStore{nil, NewResultStore(0, 0)} {
+		if st.Enabled() {
+			t.Fatal("store should be disabled")
+		}
+		st.Put("k", storedResult(0, "x", 1))
+		if _, ok := st.Get("k"); ok {
+			t.Fatal("disabled store served a hit")
+		}
+		if st.Len() != 0 {
+			t.Fatal("disabled store retained an entry")
+		}
+	}
+	st := NewResultStore(4, 0)
+	st.Put("", storedResult(0, "x", 1)) // empty key opts out
+	st.Put("bad", CellResult{Err: fmt.Errorf("build failed")})
+	if st.Len() != 0 {
+		t.Fatalf("unstorable results were retained: %d entries", st.Len())
+	}
+}
+
+func TestResultStoreLRUEviction(t *testing.T) {
+	st := NewResultStore(2, 0)
+	st.Put("a", storedResult(0, "a", 1))
+	st.Put("b", storedResult(1, "b", 2))
+	if _, ok := st.Get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missed")
+	}
+	st.Put("c", storedResult(2, "c", 3))
+	if _, ok := st.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := st.Get(k); !ok {
+			t.Fatalf("%s evicted out of LRU order", k)
+		}
+	}
+	s := st.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats after eviction: %+v", s)
+	}
+}
+
+func TestResultStoreByteBound(t *testing.T) {
+	probe, _ := json.Marshal(WireStoredResult{Feasible: true, Result: storedResult(0, "", 1).Result})
+	entry := int64(len(probe))
+	st := NewResultStore(0, 2*entry) // room for two entries, not three
+	st.Put("a", storedResult(0, "a", 1))
+	st.Put("b", storedResult(1, "b", 1))
+	st.Put("c", storedResult(2, "c", 1))
+	s := st.Stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("byte bound not enforced: %+v", s)
+	}
+	if s.Bytes > s.MaxBytes {
+		t.Fatalf("bytes %d over bound %d", s.Bytes, s.MaxBytes)
+	}
+	// Replacing an entry adjusts the account instead of double-counting.
+	st.Put("b", storedResult(1, "b", 2))
+	if got := st.Stats().Bytes; got > s.MaxBytes {
+		t.Fatalf("replace leaked bytes: %d", got)
+	}
+}
+
+// TestResultStoreConcurrent hammers Get/Put/Stats/Len from many goroutines
+// under a small bound so eviction runs constantly; the race detector is the
+// assertion.
+func TestResultStoreConcurrent(t *testing.T) {
+	st := NewResultStore(8, 4096)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%16)
+				if r, ok := st.Get(key); ok {
+					if !r.Feasible || len(r.Result.Outcomes) != 1 {
+						t.Errorf("torn read: %+v", r)
+						return
+					}
+				} else {
+					st.Put(key, storedResult(i, key, float64(i)))
+				}
+				if i%17 == 0 {
+					_ = st.Stats()
+					_ = st.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := st.Stats()
+	if s.Entries > 8 {
+		t.Fatalf("capacity exceeded at rest: %+v", s)
+	}
+}
+
+// TestRunWithStore: the store path must be invisible in the results — cold
+// (populating) and warm (serving) runs are bit-identical to a store-free
+// run, hits never reach the executor, and every completed solve lands in
+// the store.
+func TestRunWithStore(t *testing.T) {
+	cells := testCells(t)
+	want, err := Run(context.Background(), &PoolExecutor{Workers: 2}, Campaign{Cells: cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewResultStore(64, 0)
+	cold, err := Run(context.Background(), &PoolExecutor{Workers: 2}, Campaign{Cells: cells, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "cold", cold, want)
+	if st.Len() != len(cells) {
+		t.Fatalf("cold run stored %d of %d cells", st.Len(), len(cells))
+	}
+	var executed atomic.Int64
+	counting := &countingExecutor{n: &executed}
+	warm, err := Run(context.Background(), counting, Campaign{Cells: cells, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "warm", warm, want)
+	if executed.Load() != 0 {
+		t.Fatalf("warm run executed %d cells; all %d should have been store hits", executed.Load(), len(cells))
+	}
+	s := st.Stats()
+	if s.Hits != uint64(len(cells)) {
+		t.Fatalf("warm run recorded %d hits, want %d", s.Hits, len(cells))
+	}
+	// A partial warm run: evict-free store with one novel cell appended —
+	// only the novel cell executes, and indexes stay absolute.
+	extra := append(append([]Cell{}, cells...), CellSpec{
+		Key:      "novel",
+		CacheKey: "streamit/Serpent",
+		Workload: WorkloadSpec{StreamIt: "Serpent"},
+		ScaleCCR: true,
+		CCR:      1,
+		P:        2,
+		Q:        2,
+		Opts:     core.Options{Seed: 99, DPA1DMaxStates: 60_000},
+	}.Cell())
+	mixed, err := Run(context.Background(), &PoolExecutor{Workers: 2}, Campaign{Cells: extra, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "mixed-prefix", mixed[:len(cells)], want)
+	last := mixed[len(cells)]
+	if last.Index != len(cells) || last.Key != "novel" || last.Err != nil {
+		t.Fatalf("novel cell misrecorded: %+v", last)
+	}
+}
+
+// countingExecutor counts the cells the executor actually ran.
+type countingExecutor struct{ n *atomic.Int64 }
+
+func (e *countingExecutor) Execute(ctx context.Context, n int, fn func(int)) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.n.Add(1)
+		fn(i)
+	}
+	return nil
+}
+
+// TestRunStoreSkipsBuildCells: closure-backed cells have no wire identity,
+// so they must bypass the store entirely — solved every run, never stored.
+func TestRunStoreSkipsBuildCells(t *testing.T) {
+	cells := testCells(t)
+	spec := cells[0].Spec
+	built := 0
+	cells[0].Build = func() (*spg.Analysis, error) { built++; return spec.Workload.Build() }
+	st := NewResultStore(64, 0)
+	for run := 0; run < 2; run++ {
+		if _, err := Run(context.Background(), &PoolExecutor{Workers: 1}, Campaign{Cells: cells, Store: st}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if built != 2 {
+		t.Fatalf("Build cell built %d times, want 2 (one per run)", built)
+	}
+	if st.Len() != len(cells)-1 {
+		t.Fatalf("store holds %d entries; the Build cell must not be one of %d", st.Len(), len(cells))
+	}
+}

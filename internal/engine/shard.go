@@ -68,7 +68,12 @@ type ExecuteCellsResponse struct {
 // from its workload content, so a request can never alias another family's
 // entry in the shared cache (sharing semantics are unchanged — equal
 // workloads still share one base). An empty CacheKey still opts out.
-func ExecuteSpecs(ctx context.Context, ex Executor, specs []CellSpec, cache *AnalysisCache) ([]WireCellResult, error) {
+//
+// store, when enabled, is the worker's own content-addressed result store:
+// a dispatched cell this worker has already solved is answered from it
+// without re-solving (the content hash is derived from the spec locally, so
+// a request can no more alias a foreign outcome than a foreign analysis).
+func ExecuteSpecs(ctx context.Context, ex Executor, specs []CellSpec, cache *AnalysisCache, store *ResultStore) ([]WireCellResult, error) {
 	cells := make([]Cell, len(specs))
 	for i, sp := range specs {
 		if sp.CacheKey != "" {
@@ -80,7 +85,7 @@ func ExecuteSpecs(ctx context.Context, ex Executor, specs []CellSpec, cache *Ana
 		}
 		cells[i] = sp.Cell()
 	}
-	results, err := Run(ctx, ex, Campaign{Cells: cells, Cache: cache})
+	results, err := Run(ctx, ex, Campaign{Cells: cells, Cache: cache, Store: store})
 	if err != nil {
 		return nil, err
 	}

@@ -27,7 +27,7 @@ func newTestWorker(t *testing.T, cache *AnalysisCache) *httptest.Server {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		results, err := ExecuteSpecs(r.Context(), &PoolExecutor{}, req.Cells, cache)
+		results, err := ExecuteSpecs(r.Context(), &PoolExecutor{}, req.Cells, cache, nil)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -264,7 +264,7 @@ func TestExecuteSpecsSanitizesCacheKeys(t *testing.T) {
 		P: 2, Q: 2,
 		Opts: core.Options{Seed: 1},
 	}
-	if _, err := ExecuteSpecs(context.Background(), nil, []CellSpec{poison}, cache); err != nil {
+	if _, err := ExecuteSpecs(context.Background(), nil, []CellSpec{poison}, cache, nil); err != nil {
 		t.Fatal(err)
 	}
 	fft := CellSpec{

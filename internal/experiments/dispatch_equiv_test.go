@@ -64,7 +64,7 @@ func newDispatchWorker(t *testing.T, cache *engine.AnalysisCache) *dispatchWorke
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		results, err := engine.ExecuteSpecs(r.Context(), nil, req.Cells, dw.cache)
+		results, err := engine.ExecuteSpecs(r.Context(), nil, req.Cells, dw.cache, nil)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

@@ -25,7 +25,7 @@ func shardWorker(t *testing.T, cache *engine.AnalysisCache) *httptest.Server {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		results, err := engine.ExecuteSpecs(r.Context(), nil, req.Cells, cache)
+		results, err := engine.ExecuteSpecs(r.Context(), nil, req.Cells, cache, nil)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"spgcmp/internal/engine"
+)
+
+// The store equivalence suite proves the content-addressed ResultStore
+// invisible at the wire: for every StreamIt (app x CCR) cell of the full
+// suite plus the seeded random panel, campaigns run with the store enabled —
+// cold (populating) and warm (every cell served from the store) — must
+// produce results byte-identical to store-free runs, at 1 and 4 workers.
+// Comparison is on the JSON wire encoding of each cell result, so "byte-
+// identical" means exactly that: the bytes a service response would carry.
+
+// wireBytes encodes every result in index order; a nil error is required
+// first (errors have no canonical wire bytes beyond their message).
+func wireBytes(t *testing.T, label string, results []engine.CellResult) []string {
+	t.Helper()
+	out := make([]string, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: cell %s: %v", label, r.Key, r.Err)
+		}
+		if r.Index != i {
+			t.Fatalf("%s: result %d carries index %d", label, i, r.Index)
+		}
+		buf, err := json.Marshal(r.Wire())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(buf)
+	}
+	return out
+}
+
+func requireSameWire(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: cell %d not byte-identical:\n got %s\nwant %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+func runStoreCells(t *testing.T, cells []engine.Cell, workers int, store *engine.ResultStore) []engine.CellResult {
+	t.Helper()
+	results, err := engine.Run(context.Background(),
+		&engine.PoolExecutor{Workers: workers},
+		engine.Campaign{Cells: cells, Cache: NewAnalysisCache(128), Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// TestResultStoreEquivalence is the campaign half of the acceptance bar:
+// store-on runs (cold and warm) byte-identical to store-off, at 1 and 4
+// workers, over the full pinned cell set. Under -short the same reduced set
+// as the kernel golden suite is used.
+func TestResultStoreEquivalence(t *testing.T) {
+	cells := kernelGoldenCells(t)
+	if testing.Short() {
+		var reduced []engine.Cell
+		for _, c := range cells {
+			switch {
+			case strings.HasPrefix(c.Spec.Key, "streamit/DCT/"),
+				strings.HasPrefix(c.Spec.Key, "streamit/DES/"),
+				strings.HasPrefix(c.Spec.Key, "streamit/FMRadio/"),
+				c.Spec.Workload.Random != nil && c.Spec.Workload.Random.CCR == 1:
+				reduced = append(reduced, c)
+			}
+		}
+		cells = reduced
+	}
+	want := wireBytes(t, "store-off", runStoreCells(t, cells, 4, nil))
+
+	for _, workers := range []int{1, 4} {
+		store := engine.NewResultStore(len(cells)+8, 0)
+		cold := wireBytes(t, "cold", runStoreCells(t, cells, workers, store))
+		requireSameWire(t, "cold", cold, want)
+		if store.Len() != len(cells) {
+			t.Fatalf("workers=%d: cold run stored %d of %d cells", workers, store.Len(), len(cells))
+		}
+		warm := wireBytes(t, "warm", runStoreCells(t, cells, workers, store))
+		requireSameWire(t, "warm", warm, want)
+		if st := store.Stats(); st.Hits != uint64(len(cells)) {
+			t.Fatalf("workers=%d: warm run recorded %d hits, want %d", workers, st.Hits, len(cells))
+		}
+	}
+}
+
+// TestResultStoreEquivalenceWithMappings repeats the proof with KeepMappings
+// on (the /v1/map request shape): the winning placements — the payload most
+// exposed to JSON round-trip drift — must survive the store byte-for-byte.
+func TestResultStoreEquivalenceWithMappings(t *testing.T) {
+	base := kernelGoldenCells(t)
+	var cells []engine.Cell
+	for _, c := range base {
+		if strings.HasPrefix(c.Spec.Key, "streamit/DCT/") ||
+			(c.Spec.Workload.Random != nil && c.Spec.Workload.Random.CCR == 1 && c.Spec.Workload.Random.Elevation <= 2) {
+			c.Spec.Opts.KeepMappings = true
+			cells = append(cells, c)
+		}
+	}
+	if len(cells) == 0 {
+		t.Fatal("empty mapping cell set")
+	}
+	want := wireBytes(t, "store-off", runStoreCells(t, cells, 4, nil))
+	store := engine.NewResultStore(len(cells)+8, 0)
+	requireSameWire(t, "cold", wireBytes(t, "cold", runStoreCells(t, cells, 2, store)), want)
+	requireSameWire(t, "warm", wireBytes(t, "warm", runStoreCells(t, cells, 2, store)), want)
+}

@@ -75,6 +75,27 @@ type Coord struct {
 	Y int `json:"y"`
 }
 
+// BatchMapRequest mirrors the batch endpoint shape: reachability follows
+// the request slice into the per-item struct.
+type BatchMapRequest struct {
+	Requests []BatchItem `json:"requests"`
+	Deadline int64       // want `exported field Deadline has no json tag`
+}
+
+// BatchItem is reached from BatchMapRequest, so its fields are wire fields.
+type BatchItem struct {
+	P int `json:"p"`
+	Q int // want `exported field Q has no json tag`
+}
+
+// WireStoredOutcome mirrors a content-addressed store entry (Wire prefix
+// root) carrying a metrics map and an illegal runtime hook.
+type WireStoredOutcome struct {
+	Feasible bool               `json:"feasible"`
+	Metrics  map[string]float64 `json:"metrics"`
+	OnEvict  func()             // want `field OnEvict is not JSON-serializable \(func type func\(\)\)` `field OnEvict has no json tag`
+}
+
 // SkipResponse: json:"-" fields are exempt from both rules.
 type SkipResponse struct {
 	Runtime func() `json:"-"`

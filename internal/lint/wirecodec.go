@@ -32,6 +32,7 @@ var Wirecodec = &Analyzer{
 	Doc: "every exported field reachable from a wire struct must carry a json tag and be " +
 		"JSON-serializable (no func/chan/non-empty-interface fields)",
 	Packages: []string{
+		"spgcmp/internal/benchfmt",
 		"spgcmp/internal/engine",
 		"spgcmp/internal/mapping",
 		"spgcmp/internal/service",

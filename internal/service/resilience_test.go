@@ -50,7 +50,7 @@ func TestRetryAfterOnShedding(t *testing.T) {
 		t.Cleanup(ts.Close)
 		// Occupy the only map slot directly; the handler sheds the request
 		// before any solve starts.
-		srv.mapSem <- struct{}{}
+		srv.maps.active <- struct{}{}
 		resp, data := postJSON(t, ts.URL+"/v1/map",
 			`{"workload":{"streamit":"DCT","ccr":1},"p":2,"q":2,"seed":1}`)
 		if resp.StatusCode != http.StatusTooManyRequests {
@@ -59,7 +59,7 @@ func TestRetryAfterOnShedding(t *testing.T) {
 		if resp.Header.Get("Retry-After") == "" {
 			t.Error("429 without Retry-After")
 		}
-		<-srv.mapSem
+		<-srv.maps.active
 		// Slot freed: the same request now solves.
 		if resp2, data2 := postJSON(t, ts.URL+"/v1/map",
 			`{"workload":{"streamit":"DCT","ccr":1},"p":2,"q":2,"seed":1}`); resp2.StatusCode != http.StatusOK {

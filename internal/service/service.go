@@ -103,6 +103,24 @@ type Config struct {
 	// unbounded concurrency would oversubscribe the pool exactly the way
 	// unbounded ranges would.
 	MaxActiveMaps int
+	// MaxQueuedMaps bounds /v1/map solves waiting for an active slot
+	// (default 0: beyond MaxActiveMaps, shed immediately — the original
+	// semantics). With a positive queue a short burst waits instead of
+	// bouncing; beyond active+queued, 429 + Retry-After still sheds.
+	MaxQueuedMaps int
+	// MaxActiveBatches bounds concurrently executing /v1/map/batch campaigns
+	// (default 2) and MaxQueuedBatches its wait queue (default 2); beyond
+	// both, 429 + Retry-After. A batch is a whole campaign, so its slots are
+	// scarcer than single-map slots.
+	MaxActiveBatches int
+	MaxQueuedBatches int
+	// MaxBatchCells rejects /v1/map/batch requests larger than this
+	// (default 256 requests).
+	MaxBatchCells int
+	// Store is the content-addressed cell-outcome store consulted by the map
+	// and batch paths before any solve and by campaigns before dispatch; nil
+	// disables the layer (every request solves).
+	Store *engine.ResultStore
 	// MinRangeBudget is the admission floor for propagated deadlines on
 	// /v1/cells/execute (default 20 ms): a range advertising less remaining
 	// budget than this is rejected up front with 503 — the worker cannot
@@ -130,12 +148,16 @@ type Server struct {
 	registry    *engine.WorkerRegistry
 	disp        *engine.Dispatcher       // prototype, cloned per registry-scheduled job
 	dispTotals  *engine.DispatcherTotals // process-lifetime scheduling counters
-	rangeSem    chan struct{}            // bounds concurrent /v1/cells/execute ranges
-	mapSem      chan struct{}            // bounds concurrent /v1/map solves
+	ranges      *admitGate               // bounds concurrent /v1/cells/execute ranges
+	maps        *admitGate               // bounds concurrent /v1/map solves
+	batches     *admitGate               // bounds concurrent /v1/map/batch campaigns
+	store       *engine.ResultStore      // content-addressed outcome store; nil-safe when absent
+	flights     *coalescer               // in-flight /v1/map singleflight table
 	minBudget   time.Duration            // admission floor for propagated range deadlines
 	draining    atomic.Bool              // graceful drain: refuse new work, stay probe-alive
 	maxGrid     int
 	maxCells    int
+	maxBatch    int
 	maxActive   int
 	jobTTL      time.Duration
 	maxFinished int
@@ -191,6 +213,20 @@ func New(cfg Config) *Server {
 	if cfg.MaxActiveMaps <= 0 {
 		cfg.MaxActiveMaps = 4
 	}
+	if cfg.MaxQueuedMaps < 0 {
+		cfg.MaxQueuedMaps = 0
+	}
+	if cfg.MaxActiveBatches <= 0 {
+		cfg.MaxActiveBatches = 2
+	}
+	if cfg.MaxQueuedBatches < 0 {
+		cfg.MaxQueuedBatches = 0
+	} else if cfg.MaxQueuedBatches == 0 {
+		cfg.MaxQueuedBatches = 2
+	}
+	if cfg.MaxBatchCells <= 0 {
+		cfg.MaxBatchCells = 256
+	}
 	if cfg.MinRangeBudget <= 0 {
 		cfg.MinRangeBudget = 20 * time.Millisecond
 	}
@@ -242,11 +278,15 @@ func New(cfg Config) *Server {
 			Totals:        totals,
 		},
 		dispTotals:  totals,
-		rangeSem:    make(chan struct{}, cfg.MaxActiveRanges),
-		mapSem:      make(chan struct{}, cfg.MaxActiveMaps),
+		ranges:      newAdmitGate(cfg.MaxActiveRanges, 0),
+		maps:        newAdmitGate(cfg.MaxActiveMaps, cfg.MaxQueuedMaps),
+		batches:     newAdmitGate(cfg.MaxActiveBatches, cfg.MaxQueuedBatches),
+		store:       cfg.Store,
+		flights:     newCoalescer(),
 		minBudget:   cfg.MinRangeBudget,
 		maxGrid:     cfg.MaxGrid,
 		maxCells:    cfg.MaxCampaignCells,
+		maxBatch:    cfg.MaxBatchCells,
 		maxActive:   cfg.MaxActiveCampaigns,
 		jobTTL:      cfg.JobTTL,
 		maxFinished: cfg.MaxFinishedJobs,
@@ -272,6 +312,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("POST /v1/map/batch", s.handleMapBatch)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaignSubmit)
 	mux.HandleFunc("GET /v1/campaign/{id}", s.handleCampaignStatus)
 	mux.HandleFunc("DELETE /v1/campaign/{id}", s.handleCampaignDelete)
@@ -291,6 +332,12 @@ type errorResponse struct {
 type healthzResponse struct {
 	Status string            `json:"status"`
 	Cache  engine.CacheStats `json:"cache"`
+	// ResultStore is the content-addressed outcome store's snapshot, present
+	// when the store is enabled.
+	ResultStore *engine.ResultStoreStats `json:"result_store,omitempty"`
+	// Coalescing counts the map path's singleflight traffic: flights led
+	// (each at most one solve) and requests answered by an existing flight.
+	Coalescing coalesceStats `json:"coalescing"`
 	// Workers is the worker registry's health snapshot (coordinators only).
 	Workers []engine.WorkerInfo `json:"workers,omitempty"`
 	// Dispatcher aggregates cluster-scheduling counters across every
@@ -352,6 +399,9 @@ type mapResponse struct {
 	// mapping.Mapping): stage allocation, per-core DVFS speeds and any
 	// pinned routes — the actionable half of the answer.
 	Mapping *mapping.WireMapping `json:"mapping,omitempty"`
+	// Error is set only inside a batch response, where one failed item must
+	// not fail its siblings; the single-request path answers 500 instead.
+	Error string `json:"error,omitempty"`
 }
 
 type campaignRequest struct {
@@ -463,7 +513,11 @@ func resolveDeadline(h http.Header, bodyMS int64) (time.Duration, bool, error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := healthzResponse{Status: "ok", Cache: s.cache.Stats()}
+	resp := healthzResponse{Status: "ok", Cache: s.cache.Stats(), Coalescing: s.flights.stats()}
+	if s.store.Enabled() {
+		st := s.store.Stats()
+		resp.ResultStore = &st
+	}
 	if s.draining.Load() {
 		// Still 200: a draining worker is alive and finishing in-flight work;
 		// answering an error here would trip the coordinator's breaker and
@@ -563,90 +617,6 @@ func (s *Server) cellFor(spec workloadRef, p, q int, seed int64) (engine.Cell, e
 	}
 }
 
-// handleMap answers one workload synchronously: resolve the cell, solve it
-// through the shared cache (a repeated request replays from warm analyses),
-// return the period-selection result. Infeasible workloads — no heuristic
-// succeeds even at the 1 s starting period — answer 422 with feasible=false
-// and the failing outcomes, distinguishing "the service cannot map this"
-// from request errors. Concurrency is bounded by MaxActiveMaps (beyond it,
-// 429 + Retry-After), and a deadline_ms / X-SPG-Deadline budget turns an
-// overrunning solve into 504 at the deadline.
-func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeShedError(w, http.StatusServiceUnavailable, 1, "draining: not accepting new work")
-		return
-	}
-	var req mapRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
-	if err := s.checkGrid(req.P, req.Q); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
-	budget, hasBudget, err := resolveDeadline(r.Header, req.DeadlineMS)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
-	cell, err := s.cellFor(req.Workload, req.P, req.Q, req.Seed)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
-	// Admission control: a map request is a full period-selection solve, so
-	// concurrency is bounded exactly like worker ranges — shed, don't queue.
-	select {
-	case s.mapSem <- struct{}{}:
-		defer func() { <-s.mapSem }()
-	default:
-		writeShedError(w, http.StatusTooManyRequests, 1, "%d map requests already executing; retry later", cap(s.mapSem))
-		return
-	}
-	ctx := r.Context()
-	if hasBudget {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, budget)
-		defer cancel()
-	}
-	// Keep placements so the answer is actionable: the response carries the
-	// winning mapping, not just its energy.
-	cell.Spec.Opts.KeepMappings = true
-	// Solve on a side goroutine so the handler can answer 504 at the
-	// deadline; an abandoned solve runs out on the pool (bounded by mapSem)
-	// and still warms the shared cache for the client's retry.
-	solved := make(chan engine.CellResult, 1)
-	go func() { solved <- engine.Solve(cell, s.cache) }()
-	var res engine.CellResult
-	select {
-	case res = <-solved:
-	case <-ctx.Done():
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the solve finished")
-		return
-	}
-	if res.Err != nil {
-		writeError(w, http.StatusInternalServerError, "workload build failed: %v", res.Err)
-		return
-	}
-	resp := mapResponse{Key: res.Key, Feasible: res.Feasible, Result: res.Result}
-	if !res.Feasible {
-		writeJSON(w, http.StatusUnprocessableEntity, resp)
-		return
-	}
-	best := res.Result.BestEnergy()
-	for _, o := range res.Result.Outcomes {
-		if o.OK && o.Energy == best {
-			resp.Best = o.Heuristic
-			resp.Mapping = o.Mapping
-			break
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
 // handleCellsExecute is the shard-worker endpoint: a coordinator's
 // ShardExecutor POSTs a range of cell specs, this process solves them on its
 // local pool against the shared campaign cache, and answers one wire result
@@ -699,21 +669,20 @@ func (s *Server) handleCellsExecute(w http.ResponseWriter, r *http.Request) {
 	// Admission control: each range runs a full local pool, so unbounded
 	// concurrent ranges would oversubscribe the worker the same way
 	// unbounded campaigns would the coordinator. The sender treats 429 as a
-	// worker failure and absorbs the range in its fallback pool.
-	select {
-	case s.rangeSem <- struct{}{}:
-		defer func() { <-s.rangeSem }()
-	default:
-		writeShedError(w, http.StatusTooManyRequests, 1, "%d cell ranges already executing; retry later", cap(s.rangeSem))
+	// worker failure and absorbs the range in its fallback pool (the range
+	// gate has no queue — a queued range would burn its sender's deadline).
+	if err := s.ranges.acquire(nil); err != nil {
+		writeShedError(w, http.StatusTooManyRequests, 1, "%d cell ranges already executing; retry later", s.ranges.capacity())
 		return
 	}
+	defer s.ranges.release()
 	ctx := r.Context()
 	if hasBudget {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, budget)
 		defer cancel()
 	}
-	results, err := engine.ExecuteSpecs(ctx, s.local, req.Cells, s.cache)
+	results, err := engine.ExecuteSpecs(ctx, s.local, req.Cells, s.cache, s.store)
 	if errors.Is(err, context.DeadlineExceeded) {
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the range finished")
 		return
@@ -909,6 +878,7 @@ func (s *Server) runCampaign(ctx context.Context, ex engine.Executor, j *job, ce
 	results, err := engine.Run(ctx, ex, engine.Campaign{
 		Cells:  cells,
 		Cache:  s.cache,
+		Store:  s.store,
 		OnCell: func(engine.CellResult) { j.done.Add(1) },
 	})
 	var result any
