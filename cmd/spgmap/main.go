@@ -35,6 +35,8 @@ func main() {
 		ccr        = flag.Float64("ccr", 0, "rescale communication volumes to this CCR (0 = keep)")
 		heuristic  = flag.String("heuristic", "all", "all | Random | Greedy | DPA2D | DPA1D | DPA2D1D | Exact")
 		seed       = flag.Int64("seed", 1, "seed for the Random heuristic")
+		exactRun   = flag.Bool("exact", false, "also run the branch-and-bound exact solver after the heuristics (small instances only)")
+		exactBudg  = flag.Int("exact-budget", 0, "exact solver placement budget; 0 keeps the default (30M)")
 		simulate   = flag.Bool("simulate", false, "run the pipeline simulator on each solution")
 		refine     = flag.Bool("refine", false, "apply the local-search refinement pass to each solution")
 		saveBest   = flag.String("save", "", "write the best mapping as JSON to this file")
@@ -67,8 +69,12 @@ func main() {
 	fmt.Printf("Period bound: T = %g s (link capacity %.3g GB/period)\n\n", T, pl.LinkCapacity(T))
 
 	inst := core.Instance{Graph: g, Platform: pl, Period: T, Analysis: an}
+	hs := pickHeuristics(*heuristic, *seed, *exactBudg)
+	if *exactRun && !strings.EqualFold(*heuristic, "Exact") {
+		hs = append(hs, newExact(*seed, *exactBudg))
+	}
 	var best *core.Solution
-	for _, h := range pickHeuristics(*heuristic, *seed) {
+	for _, h := range hs {
 		sol, err := h.Solve(inst)
 		if err != nil {
 			fmt.Printf("%-8s FAILED: %v\n", h.Name(), err)
@@ -108,12 +114,23 @@ func main() {
 	}
 }
 
-func pickHeuristics(name string, seed int64) []core.Heuristic {
+// newExact builds the branch-and-bound exact solver with the CLI's seed (it
+// drives the incumbent-seeding pass, never the result) and placement budget.
+func newExact(seed int64, budget int) *exact.Solver {
+	s := exact.NewSolver()
+	s.Seed = seed
+	if budget > 0 {
+		s.MaxPlacements = budget
+	}
+	return s
+}
+
+func pickHeuristics(name string, seed int64, budget int) []core.Heuristic {
 	if name == "all" {
 		return core.All(seed)
 	}
 	if strings.EqualFold(name, "Exact") {
-		return []core.Heuristic{exact.NewSolver()}
+		return []core.Heuristic{newExact(seed, budget)}
 	}
 	for _, h := range core.All(seed) {
 		if strings.EqualFold(h.Name(), name) {

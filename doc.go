@@ -11,8 +11,10 @@
 //	internal/platform    CMP grid, XScale DVFS model, XY routing, snake embedding
 //	internal/mapping     DAG-partition mappings, period and energy evaluation
 //	internal/core        the five heuristics: Random, Greedy, DPA2D, DPA1D, DPA2D1D
-//	internal/exact       exhaustive optimal solver (with grid-symmetry reduction)
-//	                     and Section 4.4 ILP emitter
+//	internal/exact       branch-and-bound optimal solver (admissible energy
+//	                     bounds, heuristic incumbent seeding, parallel subtree
+//	                     search), its exhaustive baseline, and the Section 4.4
+//	                     ILP emitter
 //	internal/sim         steady-state pipeline simulator
 //	internal/streamit    the 12 StreamIt workflows of Table 1
 //	internal/randspg     random SPG generation with exact elevation
@@ -129,6 +131,44 @@
 // testing.AllocsPerRun tests bounding steady-state allocation counts and
 // a benchstat old-vs-new comparison in the bench CI job.
 //
+// # The exact-solver layer
+//
+// internal/exact plays the role of the paper's Section 4.4 ILP, which CPLEX
+// could only solve on grids up to 2x2. The default engine is a
+// branch-and-bound search over the same space the original exhaustive
+// enumeration walks — restricted-growth-string set partitions with an
+// acyclic cluster quotient, injective placements reduced to grid-symmetry
+// orbit representatives, slowest feasible speed per core — pruned by two
+// admissible lower bounds. The partition-side bound prices a partial
+// partition from below using suffix-minimal dynamic-power ratios (the
+// cheapest energy-per-work any feasible speed at or above a cluster's
+// minimum can achieve; P(s)/s is not monotone on the XScale ladder, so the
+// suffix minimum matters), solo floors for unassigned stages, and one hop
+// of link energy per cross-cluster edge. The placement-side bound
+// (mapping.PrefixAccount) is exact on computation once the partition is
+// complete — cluster works determine core energies before any cluster is
+// placed — and charges each placed pair its Manhattan-distance hop excess;
+// both terms are invariant under grid automorphisms, so pruning composes
+// soundly with the orbit canonicity check. The incumbent is seeded from the
+// cheap heuristics (pinned paths stripped, so the seed is re-evaluated
+// inside the solver's own XY search space) and only ever strengthens
+// pruning — the seed mapping is never returned. Search fans out over
+// lexicographic partition prefixes on a worker pool (per-worker state on
+// core.Scratch child arenas) with a shared atomic incumbent; bounds prune
+// strictly (with a 1e-12 slack so last-ulp float noise cannot flip a
+// verdict), per-unit winners tie-break by exhaustive visit order, and the
+// final reduction walks units in order — so results are proven bit-identical
+// (energy bits and mapping bytes) to the exhaustive engine at any worker
+// count, seeded or not, with or without arenas. SolveContext threads
+// cancellation through every enumeration loop (the ctxflow analyzer pins
+// it), and the placement budget is per search unit: a truncated unit
+// surfaces ErrTooLarge rather than passing off an unproven mapping as
+// optimal. Measured (bench-exact CI job, BenchmarkExactSolver): ~80-100x
+// over the exhaustive engine on a 2x3 instance both complete, and proven
+// optima on 3x3/4x3 frontier instances (in milliseconds, a few dozen
+// placements evaluated) where the exhaustive engine cannot finish its full
+// 30M-placement default budget — past the paper's 2x2 wall.
+//
 // # The campaign engine and the mapping service
 //
 // internal/engine turns any campaign into deterministic, individually
@@ -158,7 +198,11 @@
 // boundaries which healthy workers pull as they free up. Placement is
 // cache-affine — each family has a rendezvous-hash owner among the healthy
 // workers, so one family's analyses warm one worker's AnalysisCache, with
-// steal-on-idle overriding affinity so no worker starves — and a chunk
+// steal-on-idle overriding affinity so no worker starves (gated on expected
+// benefit: an idle worker leaves a chunk with its healthy owner when the
+// owner's backlog times its EWMA chunk service time is below
+// StealMinBenefit, so brief idleness no longer breaks cache affinity) — and
+// a chunk
 // whose dispatch fails or times out is re-dispatched to a different healthy
 // worker, falling back to the local pool only when no healthy worker
 // remains that hasn't already failed it. Because cells are pure functions

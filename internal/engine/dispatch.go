@@ -27,6 +27,13 @@ const (
 	DefaultRetryBudgetPerChunk = 4
 )
 
+// DefaultStealMinBenefit is the steal-benefit gate's default threshold
+// (Dispatcher.StealMinBenefit): a steal must save at least this much
+// expected owner-queue wait to be worth breaking cache affinity. Sized at a
+// few times a warm-cache chunk's service time, so affinity survives
+// transient idleness but real backlogs still spread.
+const DefaultStealMinBenefit = 20 * time.Millisecond
+
 // retryDelay computes the backoff before retry number attempt (1-based) of
 // the chunk starting at cell index start: base doubled per prior attempt,
 // jittered into [0.5, 1.5) of itself by a pure FNV hash of (seed, start,
@@ -183,7 +190,18 @@ type DispatcherStats struct {
 	RetryBudget int64 `json:"retry_budget,omitempty"`
 	// WorkerChunks attributes served chunks to worker URLs.
 	WorkerChunks map[string]int64 `json:"worker_chunks,omitempty"`
+	// WorkerEWMAMillis is the per-worker exponentially-weighted moving
+	// average of remote chunk service times, in milliseconds — the estimate
+	// the steal-benefit gate (Dispatcher.StealMinBenefit) weighs backlogs
+	// with.
+	WorkerEWMAMillis map[string]float64 `json:"worker_ewma_millis,omitempty"`
 }
+
+// stealEWMAAlpha is the weight of the newest service-time sample in the
+// per-worker EWMA: high enough to track a worker that suddenly slows down
+// within a few chunks, low enough that one outlier chunk does not flip the
+// steal policy.
+const stealEWMAAlpha = 0.3
 
 // dispatchCounters is the shared counter implementation behind per-campaign
 // dispatcher stats and the process-lifetime totals.
@@ -192,11 +210,14 @@ type dispatchCounters struct {
 
 	mu        sync.Mutex
 	perWorker map[string]int64
+	// ewma is the per-worker EWMA of remote chunk service times in
+	// milliseconds (guarded by mu); absent until a worker's first success.
+	ewma map[string]float64
 }
 
 func (c *dispatchCounters) retried() { c.retries.Add(1) }
 
-func (c *dispatchCounters) servedRemote(worker string, redispatched, stolen bool) {
+func (c *dispatchCounters) servedRemote(worker string, redispatched, stolen bool, elapsed time.Duration) {
 	c.chunks.Add(1)
 	c.remote.Add(1)
 	if redispatched {
@@ -210,7 +231,25 @@ func (c *dispatchCounters) servedRemote(worker string, redispatched, stolen bool
 		c.perWorker = make(map[string]int64)
 	}
 	c.perWorker[worker]++
+	ms := float64(elapsed) / float64(time.Millisecond)
+	if c.ewma == nil {
+		c.ewma = make(map[string]float64)
+	}
+	if prev, ok := c.ewma[worker]; ok {
+		c.ewma[worker] = prev + stealEWMAAlpha*(ms-prev)
+	} else {
+		c.ewma[worker] = ms
+	}
 	c.mu.Unlock()
+}
+
+// serviceEWMA returns the worker's EWMA chunk service time; ok is false
+// before the worker's first successful chunk.
+func (c *dispatchCounters) serviceEWMA(worker string) (time.Duration, bool) {
+	c.mu.Lock()
+	ms, ok := c.ewma[worker]
+	c.mu.Unlock()
+	return time.Duration(ms * float64(time.Millisecond)), ok
 }
 
 func (c *dispatchCounters) servedLocal(n int64) {
@@ -232,6 +271,12 @@ func (c *dispatchCounters) stats() DispatcherStats {
 		s.WorkerChunks = make(map[string]int64, len(c.perWorker))
 		for k, v := range c.perWorker {
 			s.WorkerChunks[k] = v
+		}
+	}
+	if len(c.ewma) > 0 {
+		s.WorkerEWMAMillis = make(map[string]float64, len(c.ewma))
+		for k, v := range c.ewma {
+			s.WorkerEWMAMillis[k] = v
 		}
 	}
 	c.mu.Unlock()
@@ -306,6 +351,17 @@ type Dispatcher struct {
 	// immediately; chunks whose owner is unhealthy (or that already failed
 	// somewhere) are always taken immediately.
 	StealDelay time.Duration
+	// StealMinBenefit gates steal-on-idle on expected wait: an idle worker
+	// may steal a chunk from its healthy affinity owner only when the
+	// owner's estimated time to reach it — its pending backlog times the
+	// EWMA of its recent chunk service times — is at least this long.
+	// Short queues on fast owners thus keep their cache affinity (the steal
+	// would save less than the warm-cache analysis it throws away), while a
+	// backlog behind a slow owner is stolen as before. 0 selects
+	// DefaultStealMinBenefit; negative disables the gate (always steal, the
+	// legacy policy). Chunks that already failed somewhere, or whose owner
+	// has no service-time sample yet, bypass the gate.
+	StealMinBenefit time.Duration
 	// LocalFallback configures the in-process pool executing local-fallback
 	// chunks and non-wire-codable campaigns; its zero value runs at
 	// GOMAXPROCS.
@@ -336,18 +392,19 @@ func (d *Dispatcher) Stats() DispatcherStats {
 // registry and totals) and fresh per-campaign counters.
 func (d *Dispatcher) Clone() *Dispatcher {
 	return &Dispatcher{
-		Registry:       d.Registry,
-		ChunkCells:     d.ChunkCells,
-		Client:         d.Client,
-		RequestTimeout: d.RequestTimeout,
-		Seed:           d.Seed,
-		RetryBaseDelay: d.RetryBaseDelay,
-		RetryMaxDelay:  d.RetryMaxDelay,
-		RetryBudget:    d.RetryBudget,
-		StealDelay:     d.StealDelay,
-		LocalFallback:  d.LocalFallback,
-		OnFallback:     d.OnFallback,
-		Totals:         d.Totals,
+		Registry:        d.Registry,
+		ChunkCells:      d.ChunkCells,
+		Client:          d.Client,
+		RequestTimeout:  d.RequestTimeout,
+		Seed:            d.Seed,
+		RetryBaseDelay:  d.RetryBaseDelay,
+		RetryMaxDelay:   d.RetryMaxDelay,
+		RetryBudget:     d.RetryBudget,
+		StealDelay:      d.StealDelay,
+		StealMinBenefit: d.StealMinBenefit,
+		LocalFallback:   d.LocalFallback,
+		OnFallback:      d.OnFallback,
+		Totals:          d.Totals,
 	}
 }
 
@@ -566,16 +623,18 @@ func (r *dispatchRun) workerLoop(worker string) {
 		for i := range specs {
 			specs[i] = r.cells[c.start+i].Spec
 		}
+		reqStart := time.Now()
 		results, err := postCellRange(r.ctx, r.d.Client, worker, specs, r.d.RequestTimeout)
+		elapsed := time.Since(reqStart)
 		if err == nil {
 			r.d.Registry.ReportSuccess(worker)
 			for j, w := range results {
 				r.record(w.CellResult(c.start + j))
 			}
 			redispatched := len(c.attempted) > 0
-			r.d.counters.servedRemote(worker, redispatched, stolen)
+			r.d.counters.servedRemote(worker, redispatched, stolen, elapsed)
 			if r.d.Totals != nil {
-				r.d.Totals.servedRemote(worker, redispatched, stolen)
+				r.d.Totals.servedRemote(worker, redispatched, stolen, elapsed)
 			}
 			r.mu.Lock()
 			r.remaining--
@@ -659,14 +718,36 @@ func (r *dispatchRun) next(worker string) (*chunk, bool) {
 
 // takeLocked picks this worker's next chunk under mu: first a chunk it owns
 // (or that owns nobody), then — once the owner's StealDelay grace expired,
-// or immediately for requeued/ownerless chunks — a steal. Ownership is
-// recomputed against the current healthy set on every take (a suspect
-// worker owns nothing, so its takes are steals), which is what re-routes an
-// unhealthy worker's families to their rendezvous successor and hands them
-// back on recovery.
+// or immediately for requeued/ownerless chunks — a steal worth its cost:
+// the steal-benefit gate (StealMinBenefit) skips chunks whose healthy owner
+// would reach them quickly anyway, judged by the owner's pending backlog
+// times the EWMA of its recent chunk service times. Ownership is recomputed
+// against the current healthy set on every take (a suspect worker owns
+// nothing, so its takes are steals), which is what re-routes an unhealthy
+// worker's families to their rendezvous successor and hands them back on
+// recovery.
 func (r *dispatchRun) takeLocked(worker string, healthy []string) (*chunk, bool) {
 	steal := -1
 	now := time.Now()
+	// backlogs caches per-owner pending-queue depths for the benefit gate;
+	// computed at most once per owner per take.
+	var backlogs map[string]int
+	ownerBacklog := func(owner string) int {
+		if b, ok := backlogs[owner]; ok {
+			return b
+		}
+		b := 0
+		for _, c := range r.pending {
+			if !c.exhausted && !c.attempted[owner] && rendezvousOwner(c.family, healthy) == owner {
+				b++
+			}
+		}
+		if backlogs == nil {
+			backlogs = make(map[string]int)
+		}
+		backlogs[owner] = b
+		return b
+	}
 	for i, c := range r.pending {
 		if c.attempted[worker] || c.exhausted || now.Before(c.notBefore) {
 			continue
@@ -677,7 +758,12 @@ func (r *dispatchRun) takeLocked(worker string, healthy []string) (*chunk, bool)
 			return c, false
 		}
 		if steal < 0 && (c.stealable || r.d.StealDelay <= 0 || time.Since(c.pendingSince) >= r.d.StealDelay) {
-			steal = i
+			// Requeued chunks already failed somewhere and bypass the
+			// benefit gate — waiting on a flaky owner is never the cheap
+			// option.
+			if c.stealable || r.stealWorth(owner, ownerBacklog(owner)) {
+				steal = i
+			}
 		}
 	}
 	if steal >= 0 {
@@ -686,4 +772,24 @@ func (r *dispatchRun) takeLocked(worker string, healthy []string) (*chunk, bool)
 		return c, true
 	}
 	return nil, false
+}
+
+// stealWorth is the steal-benefit predicate: stealing from owner is worth it
+// when the owner's expected time to drain its backlog (queue depth times its
+// EWMA chunk service time) meets StealMinBenefit. With no service-time
+// sample yet the gate allows the steal — the legacy policy — since there is
+// no evidence the owner is fast.
+func (r *dispatchRun) stealWorth(owner string, backlog int) bool {
+	minBenefit := r.d.StealMinBenefit
+	if minBenefit < 0 {
+		return true
+	}
+	if minBenefit == 0 {
+		minBenefit = DefaultStealMinBenefit
+	}
+	ewma, ok := r.d.counters.serviceEWMA(owner)
+	if !ok {
+		return true
+	}
+	return time.Duration(backlog)*ewma >= minBenefit
 }

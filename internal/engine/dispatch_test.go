@@ -391,6 +391,86 @@ func TestDispatcherSteal(t *testing.T) {
 	}
 }
 
+// TestDispatcherStealEWMAGate: the steal-benefit gate. With every owner
+// known-fast (seeded service-time EWMAs far below the threshold's worth of
+// backlog), idle workers must leave affinity intact — zero steals; with the
+// gate sized normally and a slow owner, stealing proceeds as before. Either
+// way results stay bit-identical to the pool run and the EWMAs surface in
+// the stats snapshot.
+func TestDispatcherStealEWMAGate(t *testing.T) {
+	cells := bigTestCells(t)
+	cache := NewAnalysisCache(32)
+	want, err := Run(context.Background(), &PoolExecutor{}, Campaign{Cells: cells, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("fast owners keep affinity", func(t *testing.T) {
+		a := newClusterWorker(t, cache)
+		b := newClusterWorker(t, cache)
+		d := &Dispatcher{
+			Registry:   NewWorkerRegistry(RegistryConfig{}, a.URL(), b.URL()),
+			ChunkCells: 1,
+			// An hour of required benefit: with any owner EWMA on record, no
+			// realistic backlog clears the bar, so the gate must block every
+			// steal outright.
+			StealMinBenefit: time.Hour,
+		}
+		d.counters.mu.Lock()
+		d.counters.ewma = map[string]float64{a.URL(): 1, b.URL(): 1}
+		d.counters.mu.Unlock()
+		got, err := Run(context.Background(), d, Campaign{Cells: cells, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, "gated", got, want)
+		st := d.Stats()
+		if st.Steals != 0 {
+			t.Errorf("gate on known-fast owners: %d steals, want 0", st.Steals)
+		}
+		if st.LocalFallbacks != 0 {
+			t.Errorf("%d local fallbacks", st.LocalFallbacks)
+		}
+		if len(st.WorkerEWMAMillis) != 2 {
+			t.Errorf("WorkerEWMAMillis has %d entries, want 2: %+v", len(st.WorkerEWMAMillis), st.WorkerEWMAMillis)
+		}
+		for url, ms := range st.WorkerEWMAMillis {
+			if ms <= 0 {
+				t.Errorf("EWMA for %s is %g ms, want > 0", url, ms)
+			}
+		}
+	})
+
+	t.Run("slow owner still stolen from", func(t *testing.T) {
+		slow := newClusterWorker(t, cache)
+		slow.setDelay(400 * time.Millisecond)
+		fast := newClusterWorker(t, cache)
+		d := &Dispatcher{
+			Registry:   NewWorkerRegistry(RegistryConfig{}, slow.URL(), fast.URL()),
+			ChunkCells: 1,
+			// Default-sized gate, with the slow owner's sluggishness already
+			// on record: backlog x 500ms clears 20ms immediately, so the
+			// idle fast worker must still steal.
+			StealMinBenefit: DefaultStealMinBenefit,
+		}
+		d.counters.mu.Lock()
+		d.counters.ewma = map[string]float64{slow.URL(): 500}
+		d.counters.mu.Unlock()
+		got, err := Run(context.Background(), d, Campaign{Cells: cells, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, "ungated", got, want)
+		st := d.Stats()
+		if st.Steals == 0 {
+			t.Error("no steals despite a slow owner with a recorded EWMA")
+		}
+		if st.LocalFallbacks != 0 {
+			t.Errorf("%d local fallbacks", st.LocalFallbacks)
+		}
+	})
+}
+
 // TestDispatcherSuspectRecovers: in a registry with no probe loop (the
 // per-request workers path), a transient failure must not exile the worker
 // or drain the campaign to local execution — the suspect worker keeps

@@ -1,13 +1,7 @@
-// Package exact provides an optimality baseline for MinEnergy(T) on small
-// instances, playing the role of the Section 4.4 integer linear program that
-// the paper solved with CPLEX (on platforms up to 2x2). Two artifacts are
-// provided: an exhaustive solver over DAG-partitions, placements and speeds
-// (this file), and an emitter that writes the paper's exact ILP in CPLEX LP
-// format (ilp.go) for any external solver.
 package exact
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"spgcmp/internal/core"
@@ -16,65 +10,34 @@ import (
 	"spgcmp/internal/spg"
 )
 
-// ErrTooLarge is returned when the instance exceeds the exhaustive-search
-// budget (the paper's ILP hit the same wall beyond 2x2 CMPs).
-var ErrTooLarge = errors.New("exact: instance too large for exhaustive search")
-
-// Solver enumerates every DAG-partition of the SPG (set partitions with an
-// acyclic cluster quotient), every injective placement of the clusters onto
-// cores, and assigns each core its slowest feasible speed; communications
-// follow XY routing. The minimum-energy valid mapping is optimal under those
-// routing and speed rules.
-type Solver struct {
-	// MaxStages bounds the graph size (Bell numbers grow fast).
-	MaxStages int
-	// MaxPlacements bounds the total number of (partition, placement) pairs
-	// explored.
-	MaxPlacements int
-	// General drops the DAG-partition rule and searches over arbitrary
-	// partitions (cyclic cluster quotients allowed), implementing the
-	// paper's future-work comparison between general and DAG-partition
-	// mappings. General solutions assume software-pipelined execution.
-	General bool
-	// NoSymmetry disables the grid-symmetry placement reduction (see
-	// gridSymmetries) and enumerates every injective placement, as the
-	// solver originally did. The equivalence tests diff the two paths; it is
-	// also an escape hatch should a future platform break the homogeneity
-	// assumptions the reduction relies on.
-	NoSymmetry bool
-}
-
-// NewSolver returns a solver sized for the paper's exact experiments
-// (n <= 10, 2x2 grids).
-func NewSolver() *Solver {
-	return &Solver{MaxStages: 12, MaxPlacements: 30_000_000}
-}
-
-// Name implements core.Heuristic.
-func (s *Solver) Name() string {
-	if s.General {
-		return "Exact-General"
-	}
-	return "Exact"
-}
-
-// Solve implements core.Heuristic.
-func (s *Solver) Solve(inst core.Instance) (*core.Solution, error) {
-	// Reuse the caller's analysis cache when one is attached (a period sweep
-	// built with core.NewInstance/WithPeriod then validates the graph only
-	// once across the sweep); otherwise attach a private one for this call.
-	inst = inst.Analyzed()
-	if err := inst.Validate(); err != nil {
-		return nil, err
-	}
+// solveExhaustive is the plain enumeration engine: every DAG-partition by
+// restricted growth strings, every injective placement (symmetry-reduced
+// unless NoSymmetry), no lower bounds. MaxPlacements is a global best-effort
+// budget: when it runs out the best mapping found so far is returned, or
+// ErrTooLarge when there is none. It is the baseline the branch-and-bound
+// engine is proven bit-identical against.
+func (s *Solver) solveExhaustive(ctx context.Context, inst core.Instance, st *Stats) (*core.Solution, error) {
 	g, pl, T := inst.Graph, inst.Platform, inst.Period
 	n := g.N()
-	if n > s.MaxStages {
-		return nil, fmt.Errorf("%w: %d stages > %d", ErrTooLarge, n, s.MaxStages)
-	}
 
 	var best *core.Solution
 	budget := s.MaxPlacements
+	st.Units, st.Workers = 1, 1
+
+	// Cancellation: the recursions poll ctx every ctxCheckMask+1 leaves and
+	// unwind through the same early returns the budget uses.
+	stopped := false
+	tick := 0
+	checkCtx := func() bool {
+		if stopped {
+			return true
+		}
+		tick++
+		if tick&ctxCheckMask == 0 && ctx.Err() != nil {
+			stopped = true
+		}
+		return stopped
+	}
 
 	// Enumerate set partitions with restricted growth strings: part[i] is the
 	// cluster of stage i, part[i] <= max(part[0..i-1]) + 1.
@@ -108,7 +71,7 @@ func (s *Solver) Solve(inst core.Instance) (*core.Solution, error) {
 
 	var evaluate func(k int)
 	evaluate = func(k int) {
-		if budget <= 0 {
+		if budget <= 0 || checkCtx() {
 			return
 		}
 		if k > pl.NumCores() {
@@ -141,11 +104,12 @@ func (s *Solver) Solve(inst core.Instance) (*core.Solution, error) {
 		placeBuf = placeBuf[:0]
 		var place func(c int, active []int)
 		place = func(c int, active []int) {
-			if budget <= 0 {
+			if budget <= 0 || checkCtx() {
 				return
 			}
 			if c == k {
 				budget--
+				st.Placements++
 				if consider(placeBuf) {
 					return
 				}
@@ -160,6 +124,7 @@ func (s *Solver) Solve(inst core.Instance) (*core.Solution, error) {
 						return
 					}
 					budget--
+					st.Placements++
 					for ci, coreIdx := range placeBuf {
 						imgBuf[ci] = perm[coreIdx]
 					}
@@ -202,7 +167,7 @@ func (s *Solver) Solve(inst core.Instance) (*core.Solution, error) {
 
 	var gen func(i, k int)
 	gen = func(i, k int) {
-		if budget <= 0 {
+		if budget <= 0 || stopped {
 			return
 		}
 		if i == n {
@@ -215,17 +180,27 @@ func (s *Solver) Solve(inst core.Instance) (*core.Solution, error) {
 				continue // the cluster could never meet the period
 			}
 			part[i] = c
-			work[c] += w
+			// Save/restore instead of += / -=: float addition does not cancel
+			// exactly, and a history-dependent residue in work[c] could flip a
+			// marginal feasibility verdict. With restoration, work[c] is a
+			// pure function of the current partition prefix — the invariant
+			// the branch-and-bound engine's prefix replay relies on.
+			old := work[c]
+			work[c] = old + w
 			nk := k
 			if c == k {
 				nk = k + 1
 			}
 			gen(i+1, nk)
-			work[c] -= w
+			work[c] = old
 		}
 	}
 	gen(0, 0)
 
+	if stopped {
+		return nil, ctx.Err()
+	}
+	st.Truncated = budget <= 0
 	if budget <= 0 && best == nil {
 		return nil, ErrTooLarge
 	}
@@ -234,6 +209,11 @@ func (s *Solver) Solve(inst core.Instance) (*core.Solution, error) {
 	}
 	return best, nil
 }
+
+// ctxCheckMask throttles context polling in the enumeration hot loops: the
+// check runs every mask+1 visits, keeping cancellation latency far below any
+// service deadline at negligible cost.
+const ctxCheckMask = 1023
 
 // quotientAcyclic checks the DAG-partition rule for a candidate partition.
 func quotientAcyclic(g *spg.Graph, part []int, k int) bool {
@@ -332,5 +312,3 @@ func buildMapping(g *spg.Graph, pl *platform.Platform, T float64, part, place []
 	}
 	return m
 }
-
-var _ core.Heuristic = (*Solver)(nil)

@@ -270,6 +270,11 @@ func TestGeneralNeverWorseProperty(t *testing.T) {
 func TestGridSymmetries(t *testing.T) {
 	cases := []struct{ p, q, want int }{
 		{2, 2, 7}, {3, 3, 7}, {2, 3, 3}, {4, 4, 7}, {1, 4, 1}, {1, 1, 0},
+		// Degenerate shapes: single columns mirror like single rows (one
+		// flip survives deduplication), and the 2x1/1x2 lines are the
+		// smallest grids with any symmetry at all. The 1x7/7x1 pair pins
+		// that the row/column orientations produce the same group size.
+		{4, 1, 1}, {7, 1, 1}, {1, 7, 1}, {2, 1, 1}, {1, 2, 1},
 	}
 	for _, c := range cases {
 		syms := gridSymmetries(c.p, c.q)

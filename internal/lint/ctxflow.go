@@ -15,14 +15,20 @@ import (
 //     http.PostForm and http.Head (use http.NewRequestWithContext).
 //
 // Deliberately detached lifecycles — the registry's probe loop, async
-// campaign jobs that outlive their submitting request — are annotated with
-// //spglint:ignore and a written reason instead.
+// campaign jobs that outlive their submitting request, the exact solver's
+// core.Heuristic compatibility shim over its context-taking entry point —
+// are annotated with //spglint:ignore and a written reason instead.
+//
+// The exact package is covered because its searches run for seconds to
+// minutes: SolveContext threads ctx into every enumeration loop, and the
+// analyzer keeps new entry points from quietly minting detached roots.
 var Ctxflow = &Analyzer{
 	Name: "ctxflow",
 	Doc: "request-path code must propagate the incoming context.Context: no " +
 		"context.Background()/TODO(), no context-less http request helpers",
 	Packages: []string{
 		"spgcmp/internal/engine",
+		"spgcmp/internal/exact",
 		"spgcmp/internal/service",
 	},
 	Run: runCtxflow,

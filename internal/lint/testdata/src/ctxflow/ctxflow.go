@@ -70,3 +70,33 @@ func probe(ctx context.Context, url string) {
 	_ = ctx
 	_ = url
 }
+
+// --- Solver-shaped patterns, mirroring internal/exact ---
+
+// solverShim is the blessed shape for a context-less interface method
+// (core.Heuristic's Solve) delegating to its context-taking twin: the root
+// context is annotated with the reason, and everything below threads ctx.
+func solverShim(n int) error {
+	//spglint:ignore ctxflow fixture: interface compatibility shim; deadline-aware callers use the ctx entry point
+	return solverSearch(context.Background(), n)
+}
+
+// unannotatedShim is the same shape without the annotation and must flag.
+func unannotatedShim(n int) error {
+	return solverSearch(context.TODO(), n) // want `context.TODO\(\) mints a fresh root context`
+}
+
+// solverSearch is the blessed long-search pattern: a hot enumeration loop
+// that polls ctx on a cadence instead of per iteration, and unwinds with
+// ctx's error as soon as it fires.
+func solverSearch(ctx context.Context, n int) error {
+	const ctxCheckMask = 1023
+	for tick := 0; tick < n; tick++ {
+		if tick&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
